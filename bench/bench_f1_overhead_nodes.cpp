@@ -1,0 +1,38 @@
+// F1 — RREQ overhead vs network size.
+//
+// Series: RREQ transmissions per route discovery, per protocol, as the
+// node count grows at fixed area (density scaling).
+//
+// Expected shape: blind flooding grows steepest (every node rebroadcasts
+// every discovery); gossip sits a constant factor below; counter-based
+// in between; CLNLR at or below gossip with the gap widening as density
+// (and with it contention) rises.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("F1", "RREQ transmissions per discovery vs nodes");
+
+  const std::vector<std::size_t> node_counts{50, 100, 150, 200};
+  std::vector<std::string> cols{"nodes"};
+  for (core::Protocol p : core::headline_protocols()) {
+    cols.push_back(core::protocol_name(p));
+  }
+  stats::Table table(cols);
+
+  for (std::size_t n : node_counts) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (core::Protocol p : core::headline_protocols()) {
+      exp::ScenarioConfig cfg = base_config();
+      cfg.n_nodes = n;
+      cfg.traffic.rate_pps = 6.0;  // the congestion operating point
+      cfg.protocol = p;
+      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      row.push_back(exp::ci_str(
+          reps, [](const exp::RunMetrics& m) { return m.rreq_per_discovery; }, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  finish(table, "f1_overhead_nodes.csv");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// F2 — packet delivery ratio vs network size.
+//
+// Expected shape: at low density all protocols deliver comparably
+// (flooding slightly ahead on reachability); as density grows, RREQ
+// storms cost the flooding baselines collisions and queue losses while
+// CLNLR holds its PDR.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("F2", "packet delivery ratio vs nodes");
+
+  const std::vector<std::size_t> node_counts{50, 100, 150, 200};
+  std::vector<std::string> cols{"nodes"};
+  for (core::Protocol p : core::headline_protocols()) {
+    cols.push_back(core::protocol_name(p));
+  }
+  stats::Table table(cols);
+
+  for (std::size_t n : node_counts) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (core::Protocol p : core::headline_protocols()) {
+      exp::ScenarioConfig cfg = base_config();
+      cfg.n_nodes = n;
+      cfg.traffic.rate_pps = 6.0;  // the congestion operating point
+      cfg.protocol = p;
+      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      row.push_back(
+          exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  finish(table, "f2_pdr_nodes.csv");
+  return 0;
+}

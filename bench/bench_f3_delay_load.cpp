@@ -1,0 +1,35 @@
+// F3 — mean end-to-end delay vs offered load.
+//
+// Expected shape: all protocols share a low-delay plateau at light
+// load; the delay knee (queueing + discovery churn) arrives earliest
+// for blind flooding and latest for CLNLR, whose discovery throttling
+// keeps the medium clearer and whose route selection avoids queueing
+// hotspots.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("F3", "mean end-to-end delay vs offered load");
+
+  const std::vector<double> rates{2.0, 4.0, 6.0, 8.0, 12.0};
+  std::vector<std::string> cols{"pkt/s per flow"};
+  for (core::Protocol p : core::headline_protocols()) {
+    cols.push_back(core::protocol_name(p) + " (ms)");
+  }
+  stats::Table table(cols);
+
+  for (double rate : rates) {
+    std::vector<std::string> row{stats::Table::num(rate, 0)};
+    for (core::Protocol p : core::headline_protocols()) {
+      exp::ScenarioConfig cfg = base_config();
+      cfg.traffic.rate_pps = rate;
+      cfg.protocol = p;
+      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      row.push_back(exp::ci_str(
+          reps, [](const exp::RunMetrics& m) { return m.mean_delay_ms; }, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  finish(table, "f3_delay_load.csv");
+  return 0;
+}

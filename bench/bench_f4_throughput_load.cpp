@@ -1,0 +1,40 @@
+// F4 — aggregate delivered throughput vs offered load.
+//
+// Expected shape: linear region at light load for everyone; saturation
+// hits blind flooding first (its RREQ storms consume the channel), so
+// CLNLR's saturation throughput sits highest and degrades most
+// gracefully past the knee.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("F4", "aggregate throughput vs offered load");
+
+  const std::vector<double> rates{2.0, 4.0, 6.0, 8.0, 12.0};
+  std::vector<std::string> cols{"pkt/s per flow", "offered (kb/s)"};
+  for (core::Protocol p : core::headline_protocols()) {
+    cols.push_back(core::protocol_name(p) + " (kb/s)");
+  }
+  stats::Table table(cols);
+
+  for (double rate : rates) {
+    const auto base = base_config();
+    const double offered_kbps = rate *
+                                static_cast<double>(base.traffic.n_flows) *
+                                static_cast<double>(base.traffic.packet_bytes) *
+                                8.0 / 1e3;
+    std::vector<std::string> row{stats::Table::num(rate, 0),
+                                 stats::Table::num(offered_kbps, 0)};
+    for (core::Protocol p : core::headline_protocols()) {
+      exp::ScenarioConfig cfg = base_config();
+      cfg.traffic.rate_pps = rate;
+      cfg.protocol = p;
+      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      row.push_back(exp::ci_str(
+          reps, [](const exp::RunMetrics& m) { return m.throughput_kbps; }, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  finish(table, "f4_throughput_load.csv");
+  return 0;
+}

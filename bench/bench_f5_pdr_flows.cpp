@@ -1,0 +1,35 @@
+// F5 — packet delivery ratio vs number of concurrent flows.
+//
+// Congestion scaling at fixed per-flow rate: more flows = more
+// simultaneous discoveries and more forwarding load. Expected shape:
+// CLNLR degrades most gracefully; flooding collapses fastest because
+// every additional flow's discovery storms the same channel.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("F5", "packet delivery ratio vs flow count");
+
+  const std::vector<std::size_t> flow_counts{5, 10, 15, 20, 25};
+  std::vector<std::string> cols{"flows"};
+  for (core::Protocol p : core::headline_protocols()) {
+    cols.push_back(core::protocol_name(p));
+  }
+  stats::Table table(cols);
+
+  for (std::size_t flows : flow_counts) {
+    std::vector<std::string> row{std::to_string(flows)};
+    for (core::Protocol p : core::headline_protocols()) {
+      exp::ScenarioConfig cfg = base_config();
+      cfg.traffic.n_flows = flows;
+      cfg.traffic.rate_pps = 6.0;
+      cfg.protocol = p;
+      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      row.push_back(
+          exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  finish(table, "f5_pdr_flows.csv");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// F9 — energy efficiency (extension experiment).
+//
+// Radio energy per delivered payload kilobit at the reference
+// congestion point. Control-packet storms burn energy twice: the
+// transmissions themselves and the retries/collisions they provoke.
+// Expected shape: CLNLR delivers the cheapest bits; blind flooding the
+// most expensive.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("F9", "energy per delivered kilobit");
+
+  stats::Table table({"protocol", "total J", "J/node", "mJ/kbit", "PDR"});
+
+  for (core::Protocol p : core::headline_protocols()) {
+    exp::ScenarioConfig cfg = base_config();
+    cfg.traffic.rate_pps = 6.0;
+    cfg.protocol = p;
+    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    table.add_row(
+        {core::protocol_name(p),
+         exp::ci_str(reps,
+                     [](const exp::RunMetrics& m) { return m.total_energy_j; }, 0),
+         exp::ci_str(
+             reps, [](const exp::RunMetrics& m) { return m.mean_node_energy_j; },
+             1),
+         exp::ci_str(
+             reps, [](const exp::RunMetrics& m) { return m.energy_mj_per_kbit; },
+             1),
+         exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3)});
+  }
+  finish(table, "f9_energy.csv");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Kernel micro-benchmarks (google-benchmark): the hot paths whose cost
+// bounds how large a mesh the simulator can sweep.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "exp/scenario.hpp"
+#include "net/packet.hpp"
+#include "phy/propagation.hpp"
+#include "routing/messages.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace wmn;
+
+void BM_SchedulerInsertPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::RngStream rng(1, 1);
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule(sim::Time::nanos(static_cast<std::int64_t>(
+                     rng.uniform_u64(0, 1'000'000'000))),
+                 [] {});
+    }
+    while (!s.empty()) benchmark::DoNotOptimize(s.pop().at);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerInsertPop)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  sim::RngStream rng(1, 2);
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(s.schedule(
+          sim::Time::nanos(static_cast<std::int64_t>(rng.uniform_u64(0, 1'000'000))),
+          [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+    while (!s.empty()) benchmark::DoNotOptimize(s.pop().at);
+  }
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::RngStream rng(1, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform01());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::RngStream rng(1, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_PacketHeaderPushPop(benchmark::State& state) {
+  net::PacketFactory factory;
+  for (auto _ : state) {
+    net::Packet p = factory.make(512, sim::Time::zero());
+    p.push(routing::DataHeader{});
+    p.push(routing::RreqHeader{});
+    benchmark::DoNotOptimize(p.pop<routing::RreqHeader>());
+    benchmark::DoNotOptimize(p.pop<routing::DataHeader>());
+  }
+}
+BENCHMARK(BM_PacketHeaderPushPop);
+
+void BM_PacketBroadcastCopy(benchmark::State& state) {
+  net::PacketFactory factory;
+  net::Packet p = factory.make(512, sim::Time::zero());
+  p.push(routing::DataHeader{});
+  p.push(routing::RreqHeader{});
+  for (auto _ : state) {
+    net::Packet copy = p;  // the per-receiver fan-out copy
+    benchmark::DoNotOptimize(copy.size_bytes());
+  }
+}
+BENCHMARK(BM_PacketBroadcastCopy);
+
+void BM_PropagationLogDistance(benchmark::State& state) {
+  phy::LogDistanceModel m;
+  double d = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.rx_power_dbm(15.0, {0.0, 0.0}, {d, d}, 1, 2));
+    d = d < 1000.0 ? d + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_PropagationLogDistance);
+
+void BM_PropagationShadowing(benchmark::State& state) {
+  phy::LogNormalShadowing m(std::make_unique<phy::LogDistanceModel>(), 6.0, 7);
+  double d = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.rx_power_dbm(15.0, {0.0, 0.0}, {d, d}, 1, 2));
+    d = d < 1000.0 ? d + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_PropagationShadowing);
+
+// Full-stack throughput: simulated seconds per wall second for a small
+// mesh, per protocol.
+void BM_ScenarioEndToEnd(benchmark::State& state) {
+  const auto protocol = static_cast<core::Protocol>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.n_nodes = 36;
+    cfg.area_width_m = 700.0;
+    cfg.area_height_m = 700.0;
+    cfg.traffic.n_flows = 4;
+    cfg.traffic.rate_pps = 4.0;
+    cfg.warmup = sim::Time::seconds(2.0);
+    cfg.traffic_time = sim::Time::seconds(8.0);
+    cfg.seed = 11;
+    cfg.protocol = protocol;
+    exp::Scenario s(cfg);
+    s.run();
+    events += s.simulator().events_executed();
+  }
+  state.SetLabel(core::protocol_name(protocol));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScenarioEndToEnd)
+    ->Arg(static_cast<int>(core::Protocol::kAodvFlood))
+    ->Arg(static_cast<int>(core::Protocol::kClnlr))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// T2 — head-to-head summary at the reference operating point
+// (100 nodes, 10 flows, 6 pkt/s: just past the congestion knee, where
+// the protocols differentiate). All six protocols including ablations.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("T2", "protocol summary at the reference point");
+
+  stats::Table table({"protocol", "PDR", "delay (ms)", "thpt (kb/s)",
+                      "RREQ/disc", "NRL", "collisions", "q-drops"});
+
+  for (core::Protocol p : core::all_protocols()) {
+    exp::ScenarioConfig cfg = base_config();
+    cfg.traffic.rate_pps = 6.0;
+    cfg.protocol = p;
+    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    table.add_row(
+        {core::protocol_name(p),
+         exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3),
+         exp::ci_str(reps,
+                     [](const exp::RunMetrics& m) { return m.mean_delay_ms; }, 0),
+         exp::ci_str(
+             reps, [](const exp::RunMetrics& m) { return m.throughput_kbps; }, 0),
+         exp::ci_str(
+             reps, [](const exp::RunMetrics& m) { return m.rreq_per_discovery; },
+             1),
+         exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.nrl; }, 1),
+         exp::ci_str(
+             reps,
+             [](const exp::RunMetrics& m) {
+               return static_cast<double>(m.phy_collisions);
+             },
+             0),
+         exp::ci_str(
+             reps,
+             [](const exp::RunMetrics& m) {
+               return static_cast<double>(m.mac_queue_drops);
+             },
+             0)});
+  }
+  finish(table, "t2_summary.csv");
+  return 0;
+}

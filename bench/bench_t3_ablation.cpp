@@ -1,0 +1,54 @@
+// T3 — CLNLR ablation: which half of the mechanism buys what?
+//
+//   CLNLR-RD: load-adaptive discovery only (stock route selection)
+//   CLNLR-RS: load-aware route selection only (blind-flood discovery)
+//   CLNLR:    both
+//
+// Expected: discovery throttling dominates the overhead savings
+// (RREQ/disc, collisions); route selection dominates the PDR/delay
+// gains under load; the full protocol combines both.
+#include "common.hpp"
+
+int main() {
+  using namespace wmnbench;
+  const auto env = announce("T3", "CLNLR ablation at the reference point");
+
+  const std::vector<core::Protocol> protocols{
+      core::Protocol::kAodvFlood, core::Protocol::kClnlrRdOnly,
+      core::Protocol::kClnlrRsOnly, core::Protocol::kClnlr};
+
+  stats::Table table({"protocol", "PDR", "delay (ms)", "RREQ tx", "RREQ/disc",
+                      "NRL", "collisions", "avg hops"});
+
+  for (core::Protocol p : protocols) {
+    exp::ScenarioConfig cfg = base_config();
+    cfg.traffic.rate_pps = 6.0;
+    cfg.protocol = p;
+    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    table.add_row(
+        {core::protocol_name(p),
+         exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3),
+         exp::ci_str(reps,
+                     [](const exp::RunMetrics& m) { return m.mean_delay_ms; }, 0),
+         exp::ci_str(
+             reps,
+             [](const exp::RunMetrics& m) {
+               return static_cast<double>(m.rreq_tx);
+             },
+             0),
+         exp::ci_str(
+             reps, [](const exp::RunMetrics& m) { return m.rreq_per_discovery; },
+             1),
+         exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.nrl; }, 1),
+         exp::ci_str(
+             reps,
+             [](const exp::RunMetrics& m) {
+               return static_cast<double>(m.phy_collisions);
+             },
+             0),
+         exp::ci_str(reps,
+                     [](const exp::RunMetrics& m) { return m.avg_path_hops; }, 1)});
+  }
+  finish(table, "t3_ablation.csv");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every bench prints a paper-style series table to stdout and writes
+// the same data as CSV next to the binary. Environment knobs:
+//   WMN_REPS=N    replications per point (default 2)
+//   WMN_THREADS=N worker threads (default: hardware concurrency)
+//   WMN_QUICK=1   shrink traffic time for smoke runs
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "exp/sweep.hpp"
+#include "stats/table.hpp"
+
+namespace wmnbench {
+
+using namespace wmn;  // bench binaries are leaf executables
+
+// T1 reference configuration: the operating point every sweep perturbs.
+// Chosen from the source group's 2009-2012 WMN evaluations: 1000x1000 m
+// area, ~100 mesh routers on a perturbed grid, 10 CBR flows of 512-byte
+// packets, 2 Mb/s PHY abstraction, 250 m nominal radio range.
+inline exp::ScenarioConfig base_config() {
+  exp::ScenarioConfig cfg;
+  cfg.n_nodes = 100;
+  cfg.area_width_m = 1000.0;
+  cfg.area_height_m = 1000.0;
+  cfg.placement = exp::Placement::kPerturbedGrid;
+  cfg.placement_jitter_m = 60.0;
+  cfg.traffic.n_flows = 10;
+  cfg.traffic.rate_pps = 4.0;
+  cfg.traffic.packet_bytes = 512;
+  cfg.warmup = sim::Time::seconds(5.0);
+  cfg.traffic_time = sim::Time::seconds(25.0);
+  cfg.drain = sim::Time::seconds(2.0);
+  cfg.seed = 1000;
+  exp::apply_quick_mode(cfg);
+  return cfg;
+}
+
+struct BenchEnv {
+  std::size_t reps;
+  unsigned threads;
+};
+
+inline BenchEnv announce(const std::string& id, const std::string& title) {
+  BenchEnv env{exp::env_reps(2), exp::env_threads()};
+  std::cout << "\n=== " << id << ": " << title << " ===\n"
+            << "(replications per point: " << env.reps
+            << ", threads: " << env.threads
+            << "; values are mean +-95% CI half-width)\n\n";
+  return env;
+}
+
+inline void finish(const stats::Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  if (table.save_csv(csv_name)) {
+    std::cout << "\n[csv written: " << csv_name << "]\n";
+  }
+  std::cout.flush();
+}
+
+}  // namespace wmnbench

@@ -1,0 +1,62 @@
+// Mobile mesh clients: random-waypoint mobility stressing route
+// maintenance.
+//
+// As client speed rises, links break and AODV-family protocols must
+// re-discover routes; the cost of each re-discovery is exactly what the
+// rebroadcast policy controls. This example sweeps maximum speed and
+// prints PDR, link breaks, and discovery counts for stock AODV vs
+// CLNLR.
+//
+//   ./examples/mobile_clients [max_speed_mps] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wmn;
+  const double max_speed = argc > 1 ? std::strtod(argv[1], nullptr) : 15.0;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  std::cout << "Mobile clients: 80 nodes, random waypoint up to " << max_speed
+            << " m/s, 8 CBR flows, seed=" << seed << "\n\n";
+
+  stats::Table table({"protocol", "speed(m/s)", "PDR", "delay(ms)",
+                      "link breaks", "discoveries", "RREQ tx"});
+
+  for (double speed : {0.0, max_speed / 2.0, max_speed}) {
+    for (core::Protocol p :
+         {core::Protocol::kAodvFlood, core::Protocol::kClnlr}) {
+      exp::ScenarioConfig cfg;
+      cfg.n_nodes = 80;
+      cfg.traffic.n_flows = 8;
+      cfg.traffic.rate_pps = 4.0;
+      cfg.mobility.max_speed_mps = speed;
+      cfg.mobility.pause = sim::Time::seconds(2.0);
+      cfg.warmup = sim::Time::seconds(5.0);
+      cfg.traffic_time = sim::Time::seconds(30.0);
+      cfg.seed = seed;
+      cfg.protocol = p;
+
+      exp::Scenario scenario(cfg);
+      scenario.run();
+      const exp::RunMetrics m = scenario.metrics();
+
+      std::uint64_t breaks = 0;
+      for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        breaks += scenario.agent(i).counters().link_breaks;
+      }
+      table.add_row({core::protocol_name(p), stats::Table::num(speed, 1),
+                     stats::Table::num(m.pdr, 3),
+                     stats::Table::num(m.mean_delay_ms, 0),
+                     std::to_string(breaks), std::to_string(m.discoveries),
+                     std::to_string(m.rreq_tx)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nHigher speed -> more breaks and discoveries for both; "
+               "CLNLR pays fewer RREQ transmissions per discovery.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a 50-node wireless mesh, run 10 CBR flows for 30
+// seconds under CLNLR, and print the headline metrics next to stock
+// AODV flooding.
+//
+//   ./examples/quickstart [seed]
+//
+// This is the smallest complete use of the public API:
+//   ScenarioConfig -> Scenario -> run() -> metrics().
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wmn;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  exp::ScenarioConfig cfg;
+  cfg.n_nodes = 50;
+  cfg.area_width_m = 1000.0;
+  cfg.area_height_m = 1000.0;
+  cfg.placement = exp::Placement::kPerturbedGrid;
+  cfg.traffic.n_flows = 10;
+  cfg.traffic.rate_pps = 4.0;
+  cfg.traffic.packet_bytes = 512;
+  cfg.warmup = sim::Time::seconds(5.0);
+  cfg.traffic_time = sim::Time::seconds(30.0);
+  cfg.seed = seed;
+
+  stats::Table table({"protocol", "PDR", "delay(ms)", "thpt(kb/s)",
+                      "RREQ tx", "RREQ/disc", "NRL", "delivered"});
+
+  for (core::Protocol p : {core::Protocol::kAodvFlood, core::Protocol::kClnlr}) {
+    cfg.protocol = p;
+    exp::Scenario scenario(cfg);
+    scenario.run();
+    const exp::RunMetrics m = scenario.metrics();
+    table.add_row({core::protocol_name(p), stats::Table::num(m.pdr, 3),
+                   stats::Table::num(m.mean_delay_ms, 1),
+                   stats::Table::num(m.throughput_kbps, 1),
+                   std::to_string(m.rreq_tx),
+                   stats::Table::num(m.rreq_per_discovery, 1),
+                   stats::Table::num(m.nrl, 2),
+                   std::to_string(m.data_delivered)});
+  }
+
+  std::cout << "\n50-node mesh, 10 CBR flows @ 4 pkt/s, 512 B, seed=" << seed
+            << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nCLNLR should deliver comparable PDR with fewer RREQ "
+               "transmissions.\n";
+  return 0;
+}

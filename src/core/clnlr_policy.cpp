@@ -1,0 +1,48 @@
+#include "core/clnlr_policy.hpp"
+
+#include <algorithm>
+
+namespace wmn::core {
+
+double ClnlrRebroadcastPolicy::forward_probability(
+    const routing::RebroadcastContext& ctx) const {
+  const double deg = static_cast<double>(ctx.neighbor_count);
+  const double excess_density =
+      std::max(0.0, deg - params_.degree_ref) / params_.degree_ref;
+  // Density damping ramps in with load: idle meshes flood regardless
+  // of density.
+  const double gate =
+      std::clamp(ctx.neighbourhood_load / params_.density_gate, 0.0, 1.0);
+  const double p = params_.p_max -
+                   params_.load_weight * ctx.neighbourhood_load -
+                   params_.density_weight * excess_density * gate;
+  return std::clamp(p, params_.p_min, params_.p_max);
+}
+
+routing::RebroadcastDecision ClnlrRebroadcastPolicy::decide(
+    const routing::RebroadcastContext& ctx, sim::RngStream& rng) {
+  // Load-scaled jitter: hold the copy longer where the air is busy.
+  const double jitter_scale =
+      1.0 + params_.load_jitter_factor * ctx.neighbourhood_load;
+  const sim::Time delay = sim::Time::nanos(static_cast<std::int64_t>(
+      rng.uniform01() * static_cast<double>(params_.base_jitter.ns()) *
+      jitter_scale));
+
+  if (ctx.hop_count < params_.always_forward_hops ||
+      ctx.neighbor_count <= params_.sparse_degree) {
+    return {routing::RebroadcastAction::kForward, delay};
+  }
+  if (rng.bernoulli(forward_probability(ctx))) {
+    return {routing::RebroadcastAction::kForward, delay};
+  }
+  // Lost the coin flip: hold the copy and let assess() decide (rescue
+  // if no neighbour rebroadcast in the meantime).
+  return {routing::RebroadcastAction::kDefer, delay + params_.base_jitter};
+}
+
+bool ClnlrRebroadcastPolicy::assess(const routing::RebroadcastContext& ctx,
+                                    sim::RngStream&) {
+  return ctx.duplicates_seen == 0;
+}
+
+}  // namespace wmn::core

@@ -1,0 +1,36 @@
+#include "core/node_load_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wmn::core {
+
+NodeLoadIndex::NodeLoadIndex(sim::Simulator& simulator,
+                             const LoadIndexParams& params, mac::DcfMac& mac)
+    : sim_(simulator), params_(params), mac_(mac) {
+  assert(params_.weight_queue >= 0 && params_.weight_busy >= 0 &&
+         params_.weight_retry >= 0);
+  timer_ = sim_.schedule(params_.queue_sample_interval, [this] { sample_queue(); });
+}
+
+NodeLoadIndex::~NodeLoadIndex() { sim_.cancel(timer_); }
+
+void NodeLoadIndex::sample_queue() {
+  const double q = std::clamp(mac_.queue_ratio(), 0.0, 1.0);
+  queue_ewma_ = params_.queue_ewma_alpha * q +
+                (1.0 - params_.queue_ewma_alpha) * queue_ewma_;
+  timer_ = sim_.schedule(params_.queue_sample_interval, [this] { sample_queue(); });
+}
+
+double NodeLoadIndex::load_index() const {
+  const double wsum =
+      params_.weight_queue + params_.weight_busy + params_.weight_retry;
+  if (wsum <= 0.0) return 0.0;
+  const double l = (params_.weight_queue * queue_ewma_ +
+                    params_.weight_busy * mac_.busy_ratio() +
+                    params_.weight_retry * mac_.retry_ratio()) /
+                   wsum;
+  return std::clamp(l, 0.0, 1.0);
+}
+
+}  // namespace wmn::core

@@ -1,0 +1,62 @@
+// CLNLR's cross-layer node load index.
+//
+// The scalar L ∈ [0,1] that a node advertises in HELLOs and folds into
+// the RREQ path metric is a weighted blend of three MAC/PHY signals:
+//
+//   L = w_q * queue_ratio + w_b * busy_ratio + w_r * retry_ratio
+//
+//   queue_ratio — interface-queue occupancy (local backlog: this node
+//                 is a bottleneck);
+//   busy_ratio  — windowed medium busy fraction (regional congestion:
+//                 the *air* around this node is saturated, including
+//                 traffic the node merely overhears);
+//   retry_ratio — windowed MAC retry fraction (collision pressure:
+//                 contention is already destroying frames).
+//
+// The busy/retry signals are pre-smoothed by mac::LoadMonitor; the
+// queue signal is instantaneous, so this class samples and EWMA-smooths
+// it on the same cadence. The blend is re-evaluated lazily on read.
+#pragma once
+
+#include "mac/dcf_mac.hpp"
+#include "routing/load_source.hpp"
+#include "sim/simulator.hpp"
+
+namespace wmn::core {
+
+struct LoadIndexParams {
+  double weight_queue = 0.4;
+  double weight_busy = 0.4;
+  double weight_retry = 0.2;
+  sim::Time queue_sample_interval = sim::Time::millis(250.0);
+  double queue_ewma_alpha = 0.5;
+};
+
+class NodeLoadIndex final : public routing::LoadSource {
+ public:
+  NodeLoadIndex(sim::Simulator& simulator, const LoadIndexParams& params,
+                mac::DcfMac& mac);
+  ~NodeLoadIndex() override;
+
+  NodeLoadIndex(const NodeLoadIndex&) = delete;
+  NodeLoadIndex& operator=(const NodeLoadIndex&) = delete;
+
+  // The blended load index in [0, 1].
+  [[nodiscard]] double load_index() const override;
+
+  // Individual components (diagnostics / ablation benches).
+  [[nodiscard]] double queue_component() const { return queue_ewma_; }
+  [[nodiscard]] double busy_component() const { return mac_.busy_ratio(); }
+  [[nodiscard]] double retry_component() const { return mac_.retry_ratio(); }
+
+ private:
+  void sample_queue();
+
+  sim::Simulator& sim_;
+  LoadIndexParams params_;
+  mac::DcfMac& mac_;
+  double queue_ewma_ = 0.0;
+  sim::EventId timer_{};
+};
+
+}  // namespace wmn::core

@@ -1,0 +1,114 @@
+#include "core/protocols.hpp"
+
+#include <cassert>
+
+namespace wmn::core {
+
+std::string protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kAodvFlood: return "AODV-BF";
+    case Protocol::kAodvGossip: return "AODV-GOSSIP";
+    case Protocol::kAodvCounter: return "AODV-CB";
+    case Protocol::kAodvAp: return "AODV-AP";
+    case Protocol::kAodvVap: return "AODV-VAP";
+    case Protocol::kClnlr: return "CLNLR";
+    case Protocol::kClnlrRdOnly: return "CLNLR-RD";
+    case Protocol::kClnlrRsOnly: return "CLNLR-RS";
+  }
+  return "?";
+}
+
+const std::vector<Protocol>& all_protocols() {
+  static const std::vector<Protocol> v{
+      Protocol::kAodvFlood,   Protocol::kAodvGossip,  Protocol::kAodvCounter,
+      Protocol::kAodvAp,      Protocol::kAodvVap,     Protocol::kClnlr,
+      Protocol::kClnlrRdOnly, Protocol::kClnlrRsOnly};
+  return v;
+}
+
+const std::vector<Protocol>& headline_protocols() {
+  static const std::vector<Protocol> v{
+      Protocol::kAodvFlood, Protocol::kAodvGossip, Protocol::kAodvCounter,
+      Protocol::kClnlr};
+  return v;
+}
+
+std::unique_ptr<routing::AodvAgent> make_agent(Protocol protocol,
+                                               const ProtocolOptions& options,
+                                               sim::Simulator& simulator,
+                                               net::Address self,
+                                               mac::DcfMac& mac,
+                                               net::PacketFactory& factory,
+                                               const mobility::MobilityModel* mobility) {
+  routing::AodvConfig cfg = options.aodv;
+  std::unique_ptr<routing::RebroadcastPolicy> rebroadcast;
+  std::unique_ptr<routing::RouteSelectionPolicy> selection;
+  std::unique_ptr<routing::LoadSource> load;
+
+  const auto make_load_index = [&] {
+    return std::make_unique<NodeLoadIndex>(simulator, options.load_index, mac);
+  };
+
+  switch (protocol) {
+    case Protocol::kAodvFlood:
+      rebroadcast = std::make_unique<routing::FloodPolicy>();
+      selection = std::make_unique<routing::FirstArrivalSelection>();
+      load = std::make_unique<routing::ZeroLoadSource>();
+      break;
+    case Protocol::kAodvGossip:
+      rebroadcast = std::make_unique<routing::GossipPolicy>(options.gossip_p);
+      selection = std::make_unique<routing::FirstArrivalSelection>();
+      load = std::make_unique<routing::ZeroLoadSource>();
+      break;
+    case Protocol::kAodvCounter:
+      rebroadcast =
+          std::make_unique<routing::CounterPolicy>(options.counter_threshold);
+      selection = std::make_unique<routing::FirstArrivalSelection>();
+      load = std::make_unique<routing::ZeroLoadSource>();
+      break;
+    case Protocol::kAodvAp:
+      rebroadcast =
+          std::make_unique<routing::DensityGossipPolicy>(options.gossip_p);
+      selection = std::make_unique<routing::FirstArrivalSelection>();
+      load = std::make_unique<routing::ZeroLoadSource>();
+      break;
+    case Protocol::kAodvVap:
+      assert(mobility != nullptr && "kAodvVap requires the mobility model");
+      rebroadcast =
+          std::make_unique<VapRebroadcastPolicy>(simulator, mobility, options.vap);
+      selection = std::make_unique<routing::FirstArrivalSelection>();
+      load = std::make_unique<routing::ZeroLoadSource>();
+      break;
+    case Protocol::kClnlr:
+      cfg.use_load_metric = true;
+      cfg.hello_carries_load = true;
+      rebroadcast = std::make_unique<ClnlrRebroadcastPolicy>(options.clnlr);
+      selection = std::make_unique<routing::BestMetricSelection>();
+      load = make_load_index();
+      break;
+    case Protocol::kClnlrRdOnly:
+      // Load-adaptive discovery, stock route selection: HELLOs must
+      // still carry load (the policy reads neighbourhood load) but
+      // RREQs stay unextended and routes are hop-count routes.
+      cfg.use_load_metric = false;
+      cfg.hello_carries_load = true;
+      rebroadcast = std::make_unique<ClnlrRebroadcastPolicy>(options.clnlr);
+      selection = std::make_unique<routing::FirstArrivalSelection>();
+      load = make_load_index();
+      break;
+    case Protocol::kClnlrRsOnly:
+      // Blind-flood discovery, load-aware selection.
+      cfg.use_load_metric = true;
+      cfg.hello_carries_load = true;
+      rebroadcast = std::make_unique<routing::FloodPolicy>();
+      selection = std::make_unique<routing::BestMetricSelection>();
+      load = make_load_index();
+      break;
+  }
+  assert(rebroadcast && selection && load);
+  return std::make_unique<routing::AodvAgent>(
+      simulator, cfg, self, mac, factory, std::move(rebroadcast),
+      std::move(selection), std::move(load));
+}
+
+}  // namespace wmn::core

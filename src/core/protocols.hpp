@@ -1,0 +1,61 @@
+// Protocol catalogue and factory — the one place where the AODV engine
+// is wired into each evaluated protocol.
+//
+// | Protocol      | RREQ rebroadcast      | Route selection | Load metric |
+// |---------------|-----------------------|-----------------|-------------|
+// | kAodvFlood    | blind flood           | first arrival   | no          |
+// | kAodvGossip   | gossip(p)             | first arrival   | no          |
+// | kAodvCounter  | counter-based(c)      | first arrival   | no          |
+// | kClnlr        | load-adaptive (CLNLR) | best metric     | yes         |
+// | kClnlrRdOnly  | load-adaptive (CLNLR) | first arrival   | no          |
+// | kClnlrRsOnly  | blind flood           | best metric     | yes         |
+//
+// kClnlrRdOnly / kClnlrRsOnly are the ablation halves (discovery
+// throttling alone / load-aware selection alone).
+#pragma once
+
+#include <memory>
+#include <vector>
+#include <string>
+
+#include "core/clnlr_policy.hpp"
+#include "core/vap_policy.hpp"
+#include "core/node_load_index.hpp"
+#include "routing/aodv.hpp"
+
+namespace wmn::core {
+
+enum class Protocol {
+  kAodvFlood,
+  kAodvGossip,
+  kAodvCounter,
+  kAodvAp,       // density-adjusted probabilistic (the group's own scheme)
+  kAodvVap,      // velocity-aware probabilistic discovery (mobility niche)
+  kClnlr,
+  kClnlrRdOnly,
+  kClnlrRsOnly,
+};
+
+[[nodiscard]] std::string protocol_name(Protocol p);
+
+// All protocols in evaluation order (benches iterate this).
+[[nodiscard]] const std::vector<Protocol>& all_protocols();
+[[nodiscard]] const std::vector<Protocol>& headline_protocols();  // no ablations
+
+struct ProtocolOptions {
+  double gossip_p = 0.65;
+  std::uint32_t counter_threshold = 3;
+  ClnlrPolicyParams clnlr;
+  VapPolicyParams vap;
+  LoadIndexParams load_index;
+  routing::AodvConfig aodv;  // base engine config, adjusted per protocol
+};
+
+// Build a fully wired routing agent for one node. `mobility` is only
+// required by velocity-aware protocols (kAodvVap); others ignore it.
+[[nodiscard]] std::unique_ptr<routing::AodvAgent> make_agent(
+    Protocol protocol, const ProtocolOptions& options, sim::Simulator& simulator,
+    net::Address self, mac::DcfMac& mac, net::PacketFactory& factory,
+    const mobility::MobilityModel* mobility = nullptr);
+
+}  // namespace wmn::core

@@ -1,0 +1,30 @@
+#include "core/vap_policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wmn::core {
+
+double VapRebroadcastPolicy::forward_probability(double speed_mps) const {
+  const double p = 1.0 - speed_mps / params_.v_ref_mps;
+  return std::clamp(p, params_.p_min, 1.0);
+}
+
+routing::RebroadcastDecision VapRebroadcastPolicy::decide(
+    const routing::RebroadcastContext& ctx, sim::RngStream& rng) {
+  assert(mobility_ != nullptr && "VAP needs the node's mobility model");
+  const sim::Time jitter = sim::Time::nanos(static_cast<std::int64_t>(
+      rng.uniform01() * static_cast<double>(params_.max_jitter.ns())));
+
+  if (ctx.hop_count < params_.always_forward_hops ||
+      ctx.neighbor_count <= params_.sparse_degree) {
+    return {routing::RebroadcastAction::kForward, jitter};
+  }
+  const double speed = mobility_->speed(sim_.now());
+  if (rng.bernoulli(forward_probability(speed))) {
+    return {routing::RebroadcastAction::kForward, jitter};
+  }
+  return {routing::RebroadcastAction::kDrop, {}};
+}
+
+}  // namespace wmn::core

@@ -1,0 +1,58 @@
+// Velocity-Aware Probabilistic (VAP) route discovery.
+//
+// Reconstruction of the research group's velocity-aware line (Bani
+// Khalaf, Al-Dubai, Abed 2012): fast-moving nodes make fragile relays —
+// a route through a node that is about to leave radio range breaks
+// within seconds, forcing a re-discovery whose RREQ storm costs more
+// than the original route was worth. VAP therefore *excludes unstable
+// nodes from constructing routes*: a node rebroadcasts a RREQ with a
+// probability that falls with its own current speed,
+//
+//   p = clamp(1 − speed / v_ref, p_min, 1)
+//
+// so stationary mesh routers always forward, slow clients usually do,
+// and fast movers rarely inject themselves into paths. The same
+// protective rules as CLNLR apply (first-hop and sparse-neighbourhood
+// guards), because a fast node that is the only bridge is still better
+// than no route.
+//
+// This policy composes with the stock AODV engine as Protocol::kAodvVap
+// and is evaluated in the mobility experiment (F7b).
+#pragma once
+
+#include "mobility/mobility_model.hpp"
+#include "routing/rebroadcast_policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace wmn::core {
+
+struct VapPolicyParams {
+  double p_min = 0.2;          // floor for the fastest movers
+  double v_ref_mps = 20.0;     // speed at which p would reach 0 unclamped
+  std::uint32_t sparse_degree = 2;
+  std::uint8_t always_forward_hops = 1;
+  sim::Time max_jitter = sim::Time::millis(10.0);
+};
+
+class VapRebroadcastPolicy final : public routing::RebroadcastPolicy {
+ public:
+  VapRebroadcastPolicy(sim::Simulator& simulator,
+                       const mobility::MobilityModel* self_mobility,
+                       const VapPolicyParams& params = {})
+      : sim_(simulator), mobility_(self_mobility), params_(params) {}
+
+  routing::RebroadcastDecision decide(const routing::RebroadcastContext& ctx,
+                                      sim::RngStream& rng) override;
+
+  [[nodiscard]] std::string name() const override { return "vap"; }
+
+  // The probability formula, exposed for tests.
+  [[nodiscard]] double forward_probability(double speed_mps) const;
+
+ private:
+  sim::Simulator& sim_;
+  const mobility::MobilityModel* mobility_;
+  VapPolicyParams params_;
+};
+
+}  // namespace wmn::core

@@ -1,0 +1,68 @@
+// Network-wide metrics of one simulation run — the quantities the
+// paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wmn::exp {
+
+struct RunMetrics {
+  // --- end-to-end data plane -------------------------------------------
+  std::uint64_t data_sent = 0;       // application packets offered
+  std::uint64_t data_delivered = 0;  // reached their destination
+  double pdr = 0.0;                  // delivered / sent
+  double mean_delay_ms = 0.0;        // over delivered packets
+  double mean_jitter_ms = 0.0;       // mean |successive delay diff|
+  double throughput_kbps = 0.0;      // delivered payload over traffic time
+
+  // --- control plane (network totals, transmissions) ---------------------
+  std::uint64_t rreq_tx = 0;   // RREQ broadcasts (originated + forwarded)
+  std::uint64_t rrep_tx = 0;
+  std::uint64_t rerr_tx = 0;
+  std::uint64_t hello_tx = 0;
+  std::uint64_t control_tx = 0;
+  std::uint64_t rreq_suppressed = 0;
+
+  std::uint64_t discoveries = 0;
+  std::uint64_t discoveries_failed = 0;
+  double rreq_per_discovery = 0.0;  // RREQ transmissions per discovery
+  // Normalized routing load: control transmissions per delivered packet.
+  double nrl = 0.0;
+  // Same but HELLO excluded (isolates the on-demand overhead).
+  double nrl_on_demand = 0.0;
+
+  // --- MAC / PHY health ----------------------------------------------------
+  std::uint64_t mac_queue_drops = 0;
+  std::uint64_t mac_retry_drops = 0;
+  std::uint64_t mac_retries = 0;
+  std::uint64_t phy_collisions = 0;  // frames locked then clobbered (SINR)
+  double mean_busy_ratio = 0.0;      // mean of final per-node busy EWMAs
+
+  // --- forwarding-load distribution ----------------------------------------
+  std::vector<double> per_node_forwarded;  // data frames forwarded per node
+  // Fairness over the *active* forwarding set (nodes that forwarded at
+  // least one data frame); including the idle majority would reward
+  // protocols that deliver less.
+  std::uint64_t forwarding_active_nodes = 0;
+  double forwarding_jain = 1.0;
+  double forwarding_peak_to_mean = 1.0;
+
+  // --- energy ------------------------------------------------------------
+  double total_energy_j = 0.0;        // network-wide radio energy
+  double mean_node_energy_j = 0.0;
+  // Communication efficiency: millijoules per delivered payload kilobit.
+  double energy_mj_per_kbit = 0.0;
+
+  // --- path properties --------------------------------------------------
+  // Mean hop count experienced by delivered packets, estimated as
+  // 1 + total forwards / total deliveries.
+  double avg_path_hops = 0.0;
+
+  // --- bookkeeping -----------------------------------------------------
+  std::uint64_t seed = 0;
+  double sim_event_count = 0.0;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace wmn::exp

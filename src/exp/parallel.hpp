@@ -1,0 +1,58 @@
+// Replication-level parallelism.
+//
+// The simulation kernel is single-threaded by design; throughput comes
+// from running independent replications concurrently. This follows the
+// shared-nothing discipline of the HPC guides: tasks read an immutable
+// description (captured by value), build their entire world privately,
+// and return results by value. The only shared state is the atomic
+// work-stealing index and the pre-sized results vector, where each task
+// writes exclusively to its own slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace wmn::exp {
+
+// Number of worker threads to use by default: hardware concurrency,
+// floored at 1.
+[[nodiscard]] inline unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+// Evaluate fn(0..n-1) across `threads` workers; returns results in
+// index order. Fn must be const-callable from multiple threads
+// concurrently (it is copied per worker).
+template <typename Fn>
+auto parallel_map(std::size_t n, unsigned threads, Fn fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results(n);
+  if (n == 0) return results;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&results, &next, n, fn]() mutable {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        results[i] = fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace wmn::exp

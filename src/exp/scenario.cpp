@@ -1,0 +1,250 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <set>
+
+#include "mobility/placement.hpp"
+#include "stats/fairness.hpp"
+
+namespace wmn::exp {
+
+namespace {
+constexpr std::uint64_t kPlacementSalt = 0x97AC'0000'0000'0000ULL;
+constexpr std::uint64_t kFlowSalt = 0xF107'0000'0000'0000ULL;
+constexpr std::uint64_t kMobilitySalt = 0x0B11'0000'0000'0000ULL;
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
+  assert(cfg_.n_nodes >= 2);
+  std::unique_ptr<phy::PropagationModel> prop =
+      std::make_unique<phy::LogDistanceModel>();
+  if (cfg_.shadowing_sigma_db > 0.0) {
+    prop = std::make_unique<phy::LogNormalShadowing>(
+        std::move(prop), cfg_.shadowing_sigma_db, cfg_.seed);
+  }
+  channel_ = std::make_unique<phy::WirelessChannel>(sim_, std::move(prop));
+  build_nodes();
+  build_traffic();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build_nodes() {
+  sim::RngStream placement_rng = sim_.make_stream(kPlacementSalt);
+  std::vector<mobility::Vec2> positions;
+  switch (cfg_.placement) {
+    case Placement::kGrid:
+      positions = mobility::grid_placement(cfg_.n_nodes, cfg_.area_width_m,
+                                           cfg_.area_height_m);
+      break;
+    case Placement::kPerturbedGrid:
+      positions = mobility::perturbed_grid_placement(
+          cfg_.n_nodes, cfg_.area_width_m, cfg_.area_height_m,
+          cfg_.placement_jitter_m, placement_rng);
+      break;
+    case Placement::kUniform:
+      positions = mobility::uniform_placement(cfg_.n_nodes, cfg_.area_width_m,
+                                              cfg_.area_height_m, placement_rng);
+      break;
+  }
+
+  nodes_.resize(cfg_.n_nodes);
+  for (std::size_t i = 0; i < cfg_.n_nodes; ++i) {
+    NodeStack& n = nodes_[i];
+    const auto id = static_cast<std::uint32_t>(i);
+    const net::Address addr(id);
+
+    if (cfg_.mobility.mobile()) {
+      mobility::RandomWaypointConfig rwp;
+      rwp.area_width_m = cfg_.area_width_m;
+      rwp.area_height_m = cfg_.area_height_m;
+      rwp.min_speed_mps = cfg_.mobility.min_speed_mps;
+      rwp.max_speed_mps = cfg_.mobility.max_speed_mps;
+      rwp.pause = cfg_.mobility.pause;
+      n.mobility = std::make_unique<mobility::RandomWaypointModel>(
+          sim_, rwp, positions[i], kMobilitySalt ^ id);
+    } else {
+      n.mobility = std::make_unique<mobility::ConstantPositionModel>(positions[i]);
+    }
+
+    n.phy = std::make_unique<phy::WifiPhy>(sim_, cfg_.phy, id, n.mobility.get());
+    channel_->attach(n.phy.get());
+    n.mac = std::make_unique<mac::DcfMac>(sim_, cfg_.mac, addr, *n.phy, factory_);
+    n.agent = core::make_agent(cfg_.protocol, cfg_.options, sim_, addr, *n.mac,
+                               factory_, n.mobility.get());
+    n.sink = std::make_unique<traffic::PacketSink>(sim_, *n.agent, registry_);
+  }
+}
+
+void Scenario::build_traffic() {
+  sim::RngStream flow_rng = sim_.make_stream(kFlowSalt);
+  const auto n_nodes = static_cast<std::uint32_t>(cfg_.n_nodes);
+
+  switch (cfg_.traffic.pattern) {
+    case TrafficSpec::Pattern::kRandomPairs:
+      flow_pairs_ =
+          traffic::random_pairs(cfg_.traffic.n_flows, n_nodes, flow_rng);
+      break;
+    case TrafficSpec::Pattern::kGateway: {
+      // Gateways: the nodes nearest to anchor points spread along the
+      // area diagonal — route diversity exists, as in deployed meshes.
+      const std::size_t k = std::max<std::size_t>(cfg_.traffic.n_gateways, 1);
+      const sim::Time t0 = sim_.now();
+      for (std::size_t g = 0; g < k; ++g) {
+        const double f = (static_cast<double>(g) + 1.0) /
+                         (static_cast<double>(k) + 1.0);
+        const mobility::Vec2 anchor{f * cfg_.area_width_m, f * cfg_.area_height_m};
+        std::uint32_t best = 0;
+        double best_d = 1e18;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          const double d = nodes_[i].mobility->position(t0).distance_to(anchor);
+          if (d < best_d) {
+            best_d = d;
+            best = static_cast<std::uint32_t>(i);
+          }
+        }
+        if (std::find(gateways_.begin(), gateways_.end(), best) ==
+            gateways_.end()) {
+          gateways_.push_back(best);
+        }
+      }
+      // Distinct random sources, each talking to its nearest gateway.
+      std::set<std::uint32_t> used;
+      std::size_t guard = 0;
+      while (flow_pairs_.size() < cfg_.traffic.n_flows &&
+             guard++ < cfg_.traffic.n_flows * 1000 + 1000) {
+        const auto src =
+            static_cast<std::uint32_t>(flow_rng.uniform_u64(0, n_nodes - 1));
+        if (used.contains(src) ||
+            std::find(gateways_.begin(), gateways_.end(), src) !=
+                gateways_.end()) {
+          continue;
+        }
+        used.insert(src);
+        const mobility::Vec2 sp = nodes_[src].mobility->position(t0);
+        std::uint32_t gw = gateways_.front();
+        double gw_d = 1e18;
+        for (std::uint32_t g : gateways_) {
+          const double d = nodes_[g].mobility->position(t0).distance_to(sp);
+          if (d < gw_d) {
+            gw_d = d;
+            gw = g;
+          }
+        }
+        flow_pairs_.push_back({src, gw});
+      }
+      break;
+    }
+  }
+
+  const sim::Time start = cfg_.warmup;
+  const sim::Time stop = cfg_.warmup + cfg_.traffic_time;
+  std::uint32_t flow_id = 0;
+  for (const auto& [src, dst] : flow_pairs_) {
+    if (cfg_.traffic.poisson_onoff) {
+      traffic::PoissonOnOffConfig fc;
+      fc.flow_id = flow_id++;
+      fc.dest = net::Address(dst);
+      fc.packet_bytes = cfg_.traffic.packet_bytes;
+      fc.rate_pps = cfg_.traffic.rate_pps;
+      fc.start = start;
+      fc.stop = stop;
+      onoff_sources_.push_back(std::make_unique<traffic::PoissonOnOffSource>(
+          sim_, fc, *nodes_[src].agent, factory_, registry_));
+    } else {
+      traffic::CbrConfig fc;
+      fc.flow_id = flow_id++;
+      fc.dest = net::Address(dst);
+      fc.packet_bytes = cfg_.traffic.packet_bytes;
+      fc.rate_pps = cfg_.traffic.rate_pps;
+      fc.start = start;
+      fc.stop = stop;
+      cbr_sources_.push_back(std::make_unique<traffic::CbrSource>(
+          sim_, fc, *nodes_[src].agent, factory_, registry_));
+    }
+  }
+}
+
+void Scenario::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim_.run_until(cfg_.warmup + cfg_.traffic_time + cfg_.drain);
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  ran_ = true;
+}
+
+RunMetrics Scenario::metrics() const {
+  assert(ran_ && "metrics() before run()");
+  RunMetrics m;
+  m.seed = cfg_.seed;
+  m.wall_seconds = wall_seconds_;
+  m.sim_event_count = static_cast<double>(sim_.events_executed());
+
+  m.data_sent = registry_.total_sent();
+  m.data_delivered = registry_.total_delivered();
+  m.pdr = registry_.aggregate_pdr();
+  m.mean_delay_ms = registry_.mean_delay_s() * 1e3;
+  m.mean_jitter_ms = registry_.mean_jitter_s() * 1e3;
+  const double traffic_s = cfg_.traffic_time.to_seconds();
+  m.throughput_kbps =
+      static_cast<double>(registry_.total_delivered_bytes()) * 8.0 / traffic_s /
+      1e3;
+
+  double busy_sum = 0.0;
+  std::uint64_t data_forwarded_total = 0;
+  m.per_node_forwarded.reserve(nodes_.size());
+  for (const NodeStack& n : nodes_) {
+    const auto& rc = n.agent->counters();
+    m.rreq_tx += rc.rreq_originated + rc.rreq_forwarded;
+    m.rreq_suppressed += rc.rreq_suppressed;
+    m.rrep_tx += rc.rrep_originated + rc.rrep_intermediate + rc.rrep_forwarded;
+    m.rerr_tx += rc.rerr_sent;
+    m.hello_tx += rc.hello_sent;
+    m.discoveries += rc.discovery_started;
+    m.discoveries_failed += rc.discovery_failed;
+    data_forwarded_total += rc.data_forwarded;
+    m.per_node_forwarded.push_back(static_cast<double>(rc.data_forwarded));
+
+    const auto& mc = n.mac->counters();
+    m.mac_queue_drops += mc.queue_drops;
+    m.mac_retry_drops += mc.retry_drops;
+    m.mac_retries += mc.retries;
+    busy_sum += n.mac->busy_ratio();
+
+    m.phy_collisions += n.phy->counters().rx_failed_sinr;
+    m.total_energy_j += n.phy->energy_joules();
+  }
+  m.control_tx = m.rreq_tx + m.rrep_tx + m.rerr_tx + m.hello_tx;
+  m.mean_busy_ratio = busy_sum / static_cast<double>(nodes_.size());
+  if (m.discoveries > 0) {
+    m.rreq_per_discovery =
+        static_cast<double>(m.rreq_tx) / static_cast<double>(m.discoveries);
+  }
+  if (m.data_delivered > 0) {
+    m.nrl = static_cast<double>(m.control_tx) /
+            static_cast<double>(m.data_delivered);
+    m.nrl_on_demand = static_cast<double>(m.control_tx - m.hello_tx) /
+                      static_cast<double>(m.data_delivered);
+    m.avg_path_hops = 1.0 + static_cast<double>(data_forwarded_total) /
+                                static_cast<double>(m.data_delivered);
+  }
+  m.mean_node_energy_j = m.total_energy_j / static_cast<double>(nodes_.size());
+  const double delivered_kbit =
+      static_cast<double>(registry_.total_delivered_bytes()) * 8.0 / 1e3;
+  if (delivered_kbit > 0.0) {
+    m.energy_mj_per_kbit = m.total_energy_j * 1e3 / delivered_kbit;
+  }
+
+  std::vector<double> active;
+  for (double f : m.per_node_forwarded) {
+    if (f > 0.0) active.push_back(f);
+  }
+  m.forwarding_active_nodes = active.size();
+  m.forwarding_jain = stats::jain_index(active);
+  m.forwarding_peak_to_mean = stats::peak_to_mean(active);
+  return m;
+}
+
+}  // namespace wmn::exp

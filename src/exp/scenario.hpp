@@ -1,0 +1,124 @@
+// Scenario: the top-level facade assembling a complete mesh simulation.
+//
+// One Scenario = one network (placement + radios + MACs + routing
+// agents + traffic) inside one Simulator instance. Construction wires
+// everything; run() executes; metrics() aggregates the paper's
+// quantities. Scenarios are self-contained and share nothing, so the
+// sweep layer runs them concurrently on a thread pool.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/protocols.hpp"
+#include "exp/metrics.hpp"
+#include "mobility/mobility_model.hpp"
+#include "phy/channel.hpp"
+#include "traffic/cbr_source.hpp"
+#include "traffic/flow_builder.hpp"
+#include "traffic/packet_sink.hpp"
+
+namespace wmn::exp {
+
+enum class Placement { kGrid, kPerturbedGrid, kUniform };
+
+struct MobilitySpec {
+  // max_speed == 0 -> static mesh routers (the WMN backbone default).
+  double min_speed_mps = 0.5;
+  double max_speed_mps = 0.0;
+  sim::Time pause = sim::Time::seconds(2.0);
+  [[nodiscard]] bool mobile() const { return max_speed_mps > 0.0; }
+};
+
+struct TrafficSpec {
+  enum class Pattern { kRandomPairs, kGateway };
+  Pattern pattern = Pattern::kRandomPairs;
+  std::size_t n_flows = 10;
+  double rate_pps = 4.0;
+  std::uint32_t packet_bytes = 512;
+  // kGateway: this many gateways are placed spread across the area
+  // (the nodes nearest to evenly spaced anchor points); each source
+  // sends to its *nearest* gateway, as real WMN backhaul does.
+  std::size_t n_gateways = 1;
+  bool poisson_onoff = false;   // bursty variant
+};
+
+struct ScenarioConfig {
+  std::size_t n_nodes = 100;
+  double area_width_m = 1000.0;
+  double area_height_m = 1000.0;
+  Placement placement = Placement::kPerturbedGrid;
+  double placement_jitter_m = 60.0;
+  MobilitySpec mobility;
+  TrafficSpec traffic;
+
+  core::Protocol protocol = core::Protocol::kClnlr;
+  core::ProtocolOptions options;
+  phy::PhyConfig phy;
+  mac::MacConfig mac;
+  double shadowing_sigma_db = 0.0;
+
+  sim::Time warmup = sim::Time::seconds(5.0);    // hellos settle
+  sim::Time traffic_time = sim::Time::seconds(60.0);
+  sim::Time drain = sim::Time::seconds(2.0);     // in-flight packets land
+  std::uint64_t seed = 1;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& cfg);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // Execute warmup + traffic + drain.
+  void run();
+
+  // Aggregate metrics; valid after run().
+  [[nodiscard]] RunMetrics metrics() const;
+
+  // --- component access (tests, examples, custom experiments) ---------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] routing::AodvAgent& agent(std::size_t i) { return *nodes_[i].agent; }
+  [[nodiscard]] mac::DcfMac& node_mac(std::size_t i) { return *nodes_[i].mac; }
+  [[nodiscard]] phy::WifiPhy& node_phy(std::size_t i) { return *nodes_[i].phy; }
+  [[nodiscard]] const traffic::FlowRegistry& flows() const { return registry_; }
+  [[nodiscard]] const std::vector<traffic::NodePair>& flow_pairs() const {
+    return flow_pairs_;
+  }
+  // Gateway node indices (kGateway traffic only; empty otherwise).
+  [[nodiscard]] const std::vector<std::uint32_t>& gateways() const {
+    return gateways_;
+  }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] phy::WirelessChannel& channel() { return *channel_; }
+
+ private:
+  struct NodeStack {
+    std::unique_ptr<mobility::MobilityModel> mobility;
+    std::unique_ptr<phy::WifiPhy> phy;
+    std::unique_ptr<mac::DcfMac> mac;
+    std::unique_ptr<routing::AodvAgent> agent;
+    std::unique_ptr<traffic::PacketSink> sink;
+  };
+
+  void build_nodes();
+  void build_traffic();
+
+  ScenarioConfig cfg_;
+  sim::Simulator sim_;
+  net::PacketFactory factory_;
+  std::unique_ptr<phy::WirelessChannel> channel_;
+  std::vector<NodeStack> nodes_;
+  traffic::FlowRegistry registry_;
+  std::vector<traffic::NodePair> flow_pairs_;
+  std::vector<std::uint32_t> gateways_;
+  std::vector<std::unique_ptr<traffic::CbrSource>> cbr_sources_;
+  std::vector<std::unique_ptr<traffic::PoissonOnOffSource>> onoff_sources_;
+  bool ran_ = false;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace wmn::exp

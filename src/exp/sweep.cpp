@@ -1,0 +1,68 @@
+#include "exp/sweep.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace wmn::exp {
+
+std::vector<RunMetrics> run_replications(const ScenarioConfig& base,
+                                         std::size_t n_reps, unsigned threads) {
+  return parallel_map(n_reps, threads, [base](std::size_t i) {
+    ScenarioConfig cfg = base;  // private copy per task
+    cfg.seed = base.seed + i;
+    Scenario scenario(cfg);
+    scenario.run();
+    return scenario.metrics();
+  });
+}
+
+std::vector<double> extract(std::span<const RunMetrics> reps,
+                            const MetricFn& fn) {
+  std::vector<double> out;
+  out.reserve(reps.size());
+  for (const RunMetrics& r : reps) out.push_back(fn(r));
+  return out;
+}
+
+stats::ConfidenceInterval ci(std::span<const RunMetrics> reps,
+                             const MetricFn& fn) {
+  const std::vector<double> xs = extract(reps, fn);
+  return stats::mean_ci_95(xs);
+}
+
+std::string ci_str(std::span<const RunMetrics> reps, const MetricFn& fn,
+                   int precision) {
+  const auto c = ci(reps, fn);
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << c.mean;
+  // With two samples the t(1)=12.7 multiplier makes the half-width
+  // uninformative noise; report it from three replications up.
+  if (reps.size() >= 3) oss << " +-" << c.half_width;
+  return oss.str();
+}
+
+std::size_t env_reps(std::size_t default_reps) {
+  if (const char* s = std::getenv("WMN_REPS"); s != nullptr) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return default_reps;
+}
+
+unsigned env_threads() {
+  if (const char* s = std::getenv("WMN_THREADS"); s != nullptr) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return default_thread_count();
+}
+
+void apply_quick_mode(ScenarioConfig& cfg) {
+  if (std::getenv("WMN_QUICK") != nullptr) {
+    cfg.traffic_time = sim::Time::seconds(15.0);
+  }
+}
+
+}  // namespace wmn::exp

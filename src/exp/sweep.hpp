@@ -1,0 +1,43 @@
+// Replication and sweep helpers used by every bench binary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <span>
+#include <vector>
+
+#include "exp/metrics.hpp"
+#include "exp/parallel.hpp"
+#include "exp/scenario.hpp"
+#include "stats/confidence.hpp"
+
+namespace wmn::exp {
+
+// Run `n_reps` independent replications of `base` (seeds base.seed,
+// base.seed+1, ...) across `threads` workers.
+[[nodiscard]] std::vector<RunMetrics> run_replications(
+    const ScenarioConfig& base, std::size_t n_reps,
+    unsigned threads = default_thread_count());
+
+// Extract one scalar from each replication.
+using MetricFn = std::function<double(const RunMetrics&)>;
+[[nodiscard]] std::vector<double> extract(std::span<const RunMetrics> reps,
+                                          const MetricFn& fn);
+
+// 95% CI of a scalar across replications.
+[[nodiscard]] stats::ConfidenceInterval ci(std::span<const RunMetrics> reps,
+                                           const MetricFn& fn);
+
+// "mean +-hw" rendering used in result tables (CI shown from 3 reps up).
+[[nodiscard]] std::string ci_str(std::span<const RunMetrics> reps,
+                                 const MetricFn& fn, int precision = 2);
+
+// Environment knobs shared by all benches:
+//   WMN_REPS     — replications per point (default `default_reps`)
+//   WMN_THREADS  — worker threads (default hardware concurrency)
+//   WMN_QUICK    — if set, shrink traffic time to 15 s for smoke runs
+[[nodiscard]] std::size_t env_reps(std::size_t default_reps);
+[[nodiscard]] unsigned env_threads();
+void apply_quick_mode(ScenarioConfig& cfg);
+
+}  // namespace wmn::exp

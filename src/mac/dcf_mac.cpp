@@ -1,0 +1,344 @@
+#include "mac/dcf_mac.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace wmn::mac {
+
+namespace {
+// Per-node MAC stream ids live in their own namespace so they cannot
+// collide with other components' streams for the same node.
+constexpr std::uint64_t kMacStreamSalt = 0x3AC0'0000'0000'0000ULL;
+}  // namespace
+
+DcfMac::DcfMac(sim::Simulator& simulator, const MacConfig& cfg, net::Address self,
+               phy::WifiPhy& phy, net::PacketFactory& factory)
+    : sim_(simulator),
+      cfg_(cfg),
+      self_(self),
+      phy_(phy),
+      factory_(factory),
+      rng_(simulator.make_stream(kMacStreamSalt ^ self.value())),
+      monitor_(simulator, LoadMonitorConfig{}, phy),
+      cw_(cfg.cw_min) {
+  phy_.set_listener(this);
+}
+
+bool DcfMac::enqueue(net::Packet packet, net::Address dst) {
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++counters_.queue_drops;
+    return false;
+  }
+  ++counters_.enqueued;
+  queue_.push_back(OutFrame{std::move(packet), dst, 0, 0});
+  if (!current_) {
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    cw_ = cfg_.cw_min;
+    start_access(/*new_backoff=*/true);
+  }
+  return true;
+}
+
+void DcfMac::start_access(bool new_backoff) {
+  assert(current_.has_value());
+  state_ = TxState::kAccess;
+  if (new_backoff) {
+    backoff_slots_ = static_cast<std::uint32_t>(rng_.uniform_u64(0, cw_));
+  }
+  if (!medium_busy() && !sim_.pending(difs_timer_)) {
+    difs_timer_ = sim_.schedule(difs(), [this] { on_difs_elapsed(); });
+  }
+  // Otherwise on_cca_change(false) / on_nav_expired() restarts the
+  // DIFS wait.
+}
+
+void DcfMac::on_difs_elapsed() {
+  if (state_ != TxState::kAccess || !current_) return;
+  if (backoff_slots_ == 0) {
+    transmit_current();
+    return;
+  }
+  backoff_started_ = sim_.now();
+  backoff_timer_ = sim_.schedule(cfg_.slot * static_cast<std::int64_t>(backoff_slots_),
+                                 [this] { backoff_expired(); });
+}
+
+void DcfMac::pause_backoff() {
+  if (!sim_.pending(backoff_timer_)) return;
+  sim_.cancel(backoff_timer_);
+  const auto elapsed_slots = static_cast<std::uint32_t>(
+      (sim_.now() - backoff_started_).ns() / cfg_.slot.ns());
+  backoff_slots_ -= std::min(elapsed_slots, backoff_slots_);
+}
+
+void DcfMac::backoff_expired() {
+  backoff_slots_ = 0;
+  transmit_current();
+}
+
+void DcfMac::on_cca_change(bool busy) {
+  if (busy) {
+    if (sim_.pending(difs_timer_)) sim_.cancel(difs_timer_);
+    pause_backoff();
+  } else if (state_ == TxState::kAccess && current_ && !medium_busy() &&
+             !sim_.pending(difs_timer_) && !sim_.pending(backoff_timer_)) {
+    difs_timer_ = sim_.schedule(difs(), [this] { on_difs_elapsed(); });
+  }
+}
+
+bool DcfMac::medium_busy() const {
+  return phy_.cca_busy() || nav_until_ > sim_.now();
+}
+
+void DcfMac::set_nav(sim::Time until) {
+  if (until <= nav_until_) return;
+  nav_until_ = until;
+  // A fresh reservation interrupts any access countdown in progress.
+  if (sim_.pending(difs_timer_)) sim_.cancel(difs_timer_);
+  pause_backoff();
+  sim_.cancel(nav_timer_);
+  nav_timer_ = sim_.schedule_at(until, [this] { on_nav_expired(); });
+}
+
+void DcfMac::on_nav_expired() {
+  if (state_ == TxState::kAccess && current_ && !medium_busy() &&
+      !sim_.pending(difs_timer_) && !sim_.pending(backoff_timer_)) {
+    difs_timer_ = sim_.schedule(difs(), [this] { on_difs_elapsed(); });
+  }
+}
+
+void DcfMac::transmit_current() {
+  assert(current_.has_value());
+  if (!phy_.can_transmit()) {
+    // Raced with an arrival below the CCA threshold that locked the
+    // radio at this instant; behave as if the medium were busy.
+    state_ = TxState::kAccess;
+    return;
+  }
+  const bool is_retry = current_->attempts > 0;
+  if (!is_retry) current_->seq = ++next_seq_;
+  ++current_->attempts;
+  monitor_.count_tx(is_retry);
+  if (is_retry) ++counters_.retries;
+
+  const std::uint32_t frame_bytes =
+      current_->packet.size_bytes() + MacHeader::kWireSize;
+  const bool use_rts =
+      !current_->dst.is_broadcast() && frame_bytes > cfg_.rts_threshold_bytes;
+
+  if (use_rts) {
+    // Reserve the medium for the whole exchange:
+    // SIFS + CTS + SIFS + DATA + SIFS + ACK after the RTS ends.
+    const sim::Time reserve =
+        cfg_.sifs * 3 + phy_.tx_duration(CtsHeader::kWireSize) +
+        phy_.tx_duration(frame_bytes) + phy_.tx_duration(AckHeader::kWireSize);
+    net::Packet rts = factory_.make(0, sim_.now());
+    rts.push(RtsHeader{self_, current_->dst,
+                       static_cast<std::uint32_t>(reserve.to_micros())});
+    ++counters_.tx_rts;
+    sending_rts_ = true;
+    state_ = TxState::kSending;
+    phy_.send(std::move(rts));
+    return;
+  }
+  send_data_frame();
+}
+
+void DcfMac::send_data_frame() {
+  const bool is_retry = current_->attempts > 1;
+  net::Packet frame = current_->packet;  // headers shared, cheap
+  frame.push(MacHeader{self_, current_->dst, FrameType::kData, current_->seq,
+                       is_retry});
+  if (current_->dst.is_broadcast()) {
+    ++counters_.tx_data_broadcast;
+  } else {
+    ++counters_.tx_data_unicast;
+  }
+  state_ = TxState::kSending;
+  phy_.send(std::move(frame));
+}
+
+void DcfMac::on_tx_end() {
+  if (ack_in_flight_ || cts_in_flight_) {
+    ack_in_flight_ = false;
+    cts_in_flight_ = false;
+    // Resume whatever access procedure the response interrupted.
+    if (state_ == TxState::kAccess && current_) start_access(false);
+    return;
+  }
+  if (state_ != TxState::kSending || !current_) return;
+
+  if (sending_rts_) {
+    sending_rts_ = false;
+    state_ = TxState::kAwaitCts;
+    const sim::Time cts_air = phy_.tx_duration(CtsHeader::kWireSize);
+    cts_timer_ = sim_.schedule(cfg_.sifs + cts_air + cfg_.cts_timeout_slack,
+                               [this] { on_cts_timeout(); });
+    return;
+  }
+
+  if (current_->dst.is_broadcast()) {
+    finish_current(true);
+    return;
+  }
+  state_ = TxState::kAwaitAck;
+  const sim::Time ack_air = phy_.tx_duration(AckHeader::kWireSize);
+  ack_timer_ = sim_.schedule(cfg_.sifs + ack_air + cfg_.ack_timeout_slack,
+                             [this] { on_ack_timeout(); });
+}
+
+void DcfMac::on_ack_timeout() {
+  if (state_ != TxState::kAwaitAck || !current_) return;
+  handle_no_response();
+}
+
+void DcfMac::on_cts_timeout() {
+  if (state_ != TxState::kAwaitCts || !current_) return;
+  ++counters_.cts_timeouts;
+  handle_no_response();
+}
+
+void DcfMac::handle_no_response() {
+  if (current_->attempts <= cfg_.retry_limit) {
+    cw_ = std::min((cw_ + 1) * 2 - 1, cfg_.cw_max);
+    start_access(/*new_backoff=*/true);
+    return;
+  }
+  ++counters_.retry_drops;
+  finish_current(false);
+}
+
+void DcfMac::transmit_data_after_cts() {
+  if (state_ != TxState::kAwaitCts || !current_) return;
+  if (!phy_.can_transmit()) {
+    // CTS granted but the radio got locked meanwhile: retry the cycle.
+    handle_no_response();
+    return;
+  }
+  send_data_frame();
+}
+
+void DcfMac::finish_current(bool success) {
+  assert(current_.has_value());
+  sim_.cancel(ack_timer_);
+  sim_.cancel(difs_timer_);
+  sim_.cancel(backoff_timer_);
+
+  sim_.cancel(cts_timer_);
+  sim_.cancel(data_after_cts_timer_);
+  sending_rts_ = false;
+
+  OutFrame done = std::move(*current_);
+  current_.reset();
+  state_ = TxState::kIdle;
+  cw_ = cfg_.cw_min;
+
+  if (success) {
+    if (!done.dst.is_broadcast() && tx_ok_cb_) tx_ok_cb_(done.dst);
+  } else if (tx_failed_cb_) {
+    tx_failed_cb_(done.dst, std::move(done.packet));
+  }
+
+  if (!queue_.empty()) {
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    start_access(/*new_backoff=*/true);
+  }
+}
+
+void DcfMac::on_rx_start() {
+  // Carrier sense already covers this via on_cca_change; nothing extra.
+}
+
+void DcfMac::on_rx_end(std::optional<net::Packet> packet, double) {
+  if (!packet) return;  // clobbered frame: energy only
+
+  if (packet->top_is<RtsHeader>()) {
+    const RtsHeader rts = packet->pop<RtsHeader>();
+    if (rts.dst == self_) {
+      // Grant after SIFS if the radio is free then.
+      const std::uint32_t remaining =
+          rts.duration_us > static_cast<std::uint32_t>(
+                                (cfg_.sifs + phy_.tx_duration(CtsHeader::kWireSize))
+                                    .to_micros())
+              ? rts.duration_us -
+                    static_cast<std::uint32_t>(
+                        (cfg_.sifs + phy_.tx_duration(CtsHeader::kWireSize))
+                            .to_micros())
+              : 0;
+      cts_tx_timer_ = sim_.schedule(cfg_.sifs, [this, rts, remaining] {
+        if (!phy_.can_transmit()) return;  // sender will retry
+        net::Packet cts = factory_.make(0, sim_.now());
+        cts.push(CtsHeader{self_, rts.src, remaining});
+        ++counters_.tx_cts;
+        cts_in_flight_ = true;
+        phy_.send(std::move(cts));
+      });
+    } else {
+      set_nav(sim_.now() + sim::Time::micros(static_cast<double>(rts.duration_us)));
+    }
+    return;
+  }
+
+  if (packet->top_is<CtsHeader>()) {
+    const CtsHeader cts = packet->pop<CtsHeader>();
+    if (cts.dst == self_ && state_ == TxState::kAwaitCts && current_) {
+      sim_.cancel(cts_timer_);
+      data_after_cts_timer_ =
+          sim_.schedule(cfg_.sifs, [this] { transmit_data_after_cts(); });
+    } else if (cts.dst != self_) {
+      set_nav(sim_.now() + sim::Time::micros(static_cast<double>(cts.duration_us)));
+    }
+    return;
+  }
+
+  if (packet->top_is<AckHeader>()) {
+    const AckHeader ack = packet->pop<AckHeader>();
+    if (ack.dst == self_ && state_ == TxState::kAwaitAck && current_ &&
+        ack.seq == current_->seq) {
+      sim_.cancel(ack_timer_);
+      finish_current(true);
+    }
+    return;
+  }
+
+  if (!packet->top_is<MacHeader>()) return;
+  const MacHeader hdr = packet->pop<MacHeader>();
+  if (hdr.dst != self_ && !hdr.dst.is_broadcast()) {
+    ++counters_.rx_overheard;
+    return;
+  }
+  handle_data(std::move(*packet), hdr);
+}
+
+void DcfMac::handle_data(net::Packet packet, const MacHeader& hdr) {
+  if (!hdr.dst.is_broadcast()) {
+    // Always acknowledge — the sender's retransmission means our
+    // previous ACK was lost.
+    send_ack(hdr.src, hdr.seq);
+    const auto it = last_rx_seq_.find(hdr.src);
+    if (it != last_rx_seq_.end() && it->second == hdr.seq && hdr.retry) {
+      ++counters_.rx_duplicates;
+      return;
+    }
+    last_rx_seq_[hdr.src] = hdr.seq;
+  }
+  ++counters_.rx_delivered;
+  if (rx_cb_) rx_cb_(std::move(packet), hdr.src);
+}
+
+void DcfMac::send_ack(net::Address to, std::uint16_t seq) {
+  // SIFS priority: fire before anyone's DIFS can elapse.
+  ack_tx_timer_ = sim_.schedule(cfg_.sifs, [this, to, seq] {
+    if (!phy_.can_transmit()) return;  // give up; sender will retry
+    net::Packet ack = factory_.make(0, sim_.now());
+    ack.push(AckHeader{self_, to, seq});
+    ++counters_.tx_acks;
+    ack_in_flight_ = true;
+    phy_.send(std::move(ack));
+  });
+}
+
+}  // namespace wmn::mac

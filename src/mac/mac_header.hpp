@@ -1,0 +1,54 @@
+// Link-layer frame header.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.hpp"
+
+namespace wmn::mac {
+
+enum class FrameType : std::uint8_t { kData = 0, kAck = 1 };
+
+struct MacHeader {
+  // 802.11 data header + FCS is 28-34 bytes; we bill the common case.
+  static constexpr std::uint32_t kWireSize = 28;
+
+  net::Address src;
+  net::Address dst;
+  FrameType type = FrameType::kData;
+  std::uint16_t seq = 0;
+  bool retry = false;
+};
+
+// A standalone ACK frame is 14 bytes on the air; we model it as a
+// zero-payload packet carrying this header.
+struct AckHeader {
+  static constexpr std::uint32_t kWireSize = 14;
+
+  net::Address src;   // the ACK sender (original receiver)
+  net::Address dst;   // the station being acknowledged
+  std::uint16_t seq = 0;
+};
+
+// RTS frame (20 bytes). `duration_us` covers the rest of the exchange
+// (CTS + SIFS + data + SIFS + ACK): every station overhearing it sets
+// its NAV accordingly — virtual carrier sense past the hidden-terminal
+// boundary.
+struct RtsHeader {
+  static constexpr std::uint32_t kWireSize = 20;
+
+  net::Address src;
+  net::Address dst;
+  std::uint32_t duration_us = 0;
+};
+
+// CTS frame (14 bytes); `dst` is the station granted the medium.
+struct CtsHeader {
+  static constexpr std::uint32_t kWireSize = 14;
+
+  net::Address src;
+  net::Address dst;
+  std::uint32_t duration_us = 0;
+};
+
+}  // namespace wmn::mac

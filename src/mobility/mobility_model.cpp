@@ -1,0 +1,61 @@
+#include "mobility/mobility_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wmn::mobility {
+
+RandomWaypointModel::RandomWaypointModel(sim::Simulator& simulator,
+                                         const RandomWaypointConfig& cfg,
+                                         Vec2 initial, std::uint64_t stream_id)
+    : sim_(simulator),
+      cfg_(cfg),
+      rng_(simulator.make_stream(stream_id)),
+      leg_start_(initial),
+      leg_end_(initial),
+      leg_t0_(simulator.now()),
+      leg_t1_(simulator.now()) {
+  assert(cfg_.min_speed_mps > 0.0 && cfg_.max_speed_mps >= cfg_.min_speed_mps);
+  // Start with an initial pause so all nodes do not move in lockstep.
+  begin_pause();
+}
+
+RandomWaypointModel::~RandomWaypointModel() { sim_.cancel(next_change_); }
+
+void RandomWaypointModel::begin_pause() {
+  paused_ = true;
+  leg_start_ = leg_end_;
+  leg_t0_ = sim_.now();
+  leg_t1_ = sim_.now();
+  next_change_ = sim_.schedule(cfg_.pause, [this] { begin_leg(); });
+}
+
+void RandomWaypointModel::begin_leg() {
+  paused_ = false;
+  leg_start_ = leg_end_;
+  leg_end_ = Vec2{rng_.uniform(0.0, cfg_.area_width_m),
+                  rng_.uniform(0.0, cfg_.area_height_m)};
+  const double speed = rng_.uniform(cfg_.min_speed_mps, cfg_.max_speed_mps);
+  const double dist = leg_start_.distance_to(leg_end_);
+  leg_t0_ = sim_.now();
+  const double travel_s = dist / std::max(speed, 1e-9);
+  leg_t1_ = leg_t0_ + sim::Time::seconds(travel_s);
+  next_change_ = sim_.schedule(sim::Time::seconds(travel_s), [this] { begin_pause(); });
+}
+
+Vec2 RandomWaypointModel::position(sim::Time now) const {
+  if (paused_ || now >= leg_t1_ || leg_t1_ == leg_t0_) {
+    return paused_ ? leg_start_ : leg_end_;
+  }
+  const double f = (now - leg_t0_) / (leg_t1_ - leg_t0_);
+  const double fc = std::clamp(f, 0.0, 1.0);
+  return leg_start_ + (leg_end_ - leg_start_) * fc;
+}
+
+Vec2 RandomWaypointModel::velocity(sim::Time now) const {
+  if (paused_ || now >= leg_t1_ || leg_t1_ == leg_t0_) return {0.0, 0.0};
+  const double travel_s = (leg_t1_ - leg_t0_).to_seconds();
+  return (leg_end_ - leg_start_) * (1.0 / travel_s);
+}
+
+}  // namespace wmn::mobility

@@ -1,0 +1,107 @@
+// Node mobility models.
+//
+// Position is evaluated lazily: position(now) interpolates the current
+// movement leg, so there is no per-tick position event churn. The
+// random-waypoint model schedules one event per leg boundary (arrival
+// at a waypoint / end of pause).
+#pragma once
+
+#include <memory>
+
+#include "mobility/vec2.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace wmn::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  // Position at the given instant; `now` must be >= any previously
+  // queried time (simulation time is monotone).
+  [[nodiscard]] virtual Vec2 position(sim::Time now) const = 0;
+
+  // Instantaneous velocity vector (m/s); zero when paused/static.
+  [[nodiscard]] virtual Vec2 velocity(sim::Time now) const = 0;
+
+  // Speed magnitude convenience.
+  [[nodiscard]] double speed(sim::Time now) const { return velocity(now).norm(); }
+};
+
+// Fixed position forever (mesh routers / backbone nodes).
+class ConstantPositionModel final : public MobilityModel {
+ public:
+  explicit ConstantPositionModel(Vec2 pos) : pos_(pos) {}
+  [[nodiscard]] Vec2 position(sim::Time) const override { return pos_; }
+  [[nodiscard]] Vec2 velocity(sim::Time) const override { return {0.0, 0.0}; }
+  void set_position(Vec2 pos) { pos_ = pos; }
+
+ private:
+  Vec2 pos_;
+};
+
+// Straight-line constant velocity (used in tests and as a building
+// block for deterministic link-breakage scenarios).
+class ConstantVelocityModel final : public MobilityModel {
+ public:
+  ConstantVelocityModel(Vec2 start, Vec2 velocity_mps, sim::Time t0)
+      : start_(start), vel_(velocity_mps), t0_(t0) {}
+
+  [[nodiscard]] Vec2 position(sim::Time now) const override {
+    const double dt = (now - t0_).to_seconds();
+    return start_ + vel_ * dt;
+  }
+  [[nodiscard]] Vec2 velocity(sim::Time) const override { return vel_; }
+
+ private:
+  Vec2 start_;
+  Vec2 vel_;
+  sim::Time t0_;
+};
+
+// Random waypoint over a rectangular area: pick a uniform destination,
+// travel at a uniform speed in [min_speed, max_speed], pause, repeat.
+// The standard MANET/WMN client mobility model (and the one the
+// authors' group uses throughout their 2009-2012 evaluations).
+struct RandomWaypointConfig {
+  double area_width_m = 1000.0;
+  double area_height_m = 1000.0;
+  double min_speed_mps = 0.5;   // strictly positive to avoid the
+                                // well-known RWP speed-decay pathology
+  double max_speed_mps = 10.0;
+  sim::Time pause = sim::Time::seconds(2);
+};
+
+class RandomWaypointModel final : public MobilityModel {
+ public:
+  // `stream_id` must be unique per node for independent trajectories.
+  RandomWaypointModel(sim::Simulator& simulator, const RandomWaypointConfig& cfg,
+                      Vec2 initial, std::uint64_t stream_id);
+  ~RandomWaypointModel() override;
+
+  RandomWaypointModel(const RandomWaypointModel&) = delete;
+  RandomWaypointModel& operator=(const RandomWaypointModel&) = delete;
+
+  [[nodiscard]] Vec2 position(sim::Time now) const override;
+  [[nodiscard]] Vec2 velocity(sim::Time now) const override;
+
+ private:
+  void begin_pause();
+  void begin_leg();
+
+  sim::Simulator& sim_;
+  RandomWaypointConfig cfg_;
+  mutable sim::RngStream rng_;
+
+  // Current leg state.
+  Vec2 leg_start_;
+  Vec2 leg_end_;
+  sim::Time leg_t0_;
+  sim::Time leg_t1_;        // arrival time at leg_end_
+  bool paused_ = true;      // between legs the node sits at leg_start_
+  sim::EventId next_change_{};
+};
+
+}  // namespace wmn::mobility

@@ -1,0 +1,57 @@
+#include "mobility/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wmn::mobility {
+
+std::vector<Vec2> grid_placement(std::size_t n, double width_m, double height_m) {
+  assert(n > 0);
+  const auto cols =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  const double dx = width_m / static_cast<double>(cols);
+  const double dy = height_m / static_cast<double>(rows);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    out.push_back(Vec2{(static_cast<double>(c) + 0.5) * dx,
+                       (static_cast<double>(r) + 0.5) * dy});
+  }
+  return out;
+}
+
+std::vector<Vec2> uniform_placement(std::size_t n, double width_m,
+                                    double height_m, sim::RngStream& rng) {
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Vec2{rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+  }
+  return out;
+}
+
+std::vector<Vec2> perturbed_grid_placement(std::size_t n, double width_m,
+                                           double height_m, double jitter_m,
+                                           sim::RngStream& rng) {
+  auto out = grid_placement(n, width_m, height_m);
+  for (auto& p : out) {
+    p.x = std::clamp(p.x + rng.uniform(-jitter_m, jitter_m), 0.0, width_m);
+    p.y = std::clamp(p.y + rng.uniform(-jitter_m, jitter_m), 0.0, height_m);
+  }
+  return out;
+}
+
+std::vector<Vec2> line_placement(std::size_t n, double spacing_m, double y_m) {
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Vec2{static_cast<double>(i) * spacing_m, y_m});
+  }
+  return out;
+}
+
+}  // namespace wmn::mobility

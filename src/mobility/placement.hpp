@@ -1,0 +1,38 @@
+// Initial node placement helpers for mesh topologies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+#include "sim/rng.hpp"
+
+namespace wmn::mobility {
+
+// n positions on a near-square grid filling the given rectangle.
+// Rows/columns are chosen as close to sqrt(n) as possible; extra cells
+// in the last row are left empty. Grid spacing keeps a half-cell margin
+// at each border so the topology is symmetric.
+[[nodiscard]] std::vector<Vec2> grid_placement(std::size_t n, double width_m,
+                                               double height_m);
+
+// Uniform random placement over the rectangle.
+[[nodiscard]] std::vector<Vec2> uniform_placement(std::size_t n, double width_m,
+                                                  double height_m,
+                                                  sim::RngStream& rng);
+
+// Grid placement with per-node uniform jitter of up to `jitter_m` in
+// each axis (clamped to the area). Models planned-but-imperfect mesh
+// router deployment — the usual WMN backbone topology.
+[[nodiscard]] std::vector<Vec2> perturbed_grid_placement(std::size_t n,
+                                                         double width_m,
+                                                         double height_m,
+                                                         double jitter_m,
+                                                         sim::RngStream& rng);
+
+// Equally spaced points on a straight horizontal line (unit tests and
+// chain-topology experiments).
+[[nodiscard]] std::vector<Vec2> line_placement(std::size_t n, double spacing_m,
+                                               double y_m = 0.0);
+
+}  // namespace wmn::mobility

@@ -1,0 +1,31 @@
+// 2-D plane geometry for node positions (metres).
+#pragma once
+
+#include <cmath>
+
+namespace wmn::mobility {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+
+  [[nodiscard]] double distance_to(Vec2 o) const { return (*this - o).norm(); }
+
+  // Unit vector toward `o`; zero vector if coincident.
+  [[nodiscard]] Vec2 direction_to(Vec2 o) const {
+    const Vec2 d = o - *this;
+    const double n = d.norm();
+    if (n <= 0.0) return {0.0, 0.0};
+    return {d.x / n, d.y / n};
+  }
+};
+
+}  // namespace wmn::mobility

@@ -1,0 +1,48 @@
+// Node addressing.
+//
+// The mesh uses a single flat address space: one Address per node,
+// doubling as the MAC-layer and network-layer identifier (the standard
+// simplification in protocol-level WMN studies — per-layer address
+// resolution is orthogonal to routing behaviour).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wmn::net {
+
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint32_t v) : v_(v) {}
+
+  // Link-layer broadcast.
+  static constexpr Address broadcast() { return Address(0xFFFFFFFFu); }
+  // "no address" sentinel (distinct from broadcast).
+  static constexpr Address invalid() { return Address(0xFFFFFFFEu); }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return v_ == 0xFFFFFFFFu; }
+  [[nodiscard]] constexpr bool is_valid() const { return v_ != 0xFFFFFFFEu; }
+
+  constexpr auto operator<=>(const Address&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    if (is_broadcast()) return "*";
+    if (!is_valid()) return "-";
+    return std::to_string(v_);
+  }
+
+ private:
+  std::uint32_t v_ = 0xFFFFFFFEu;
+};
+
+}  // namespace wmn::net
+
+template <>
+struct std::hash<wmn::net::Address> {
+  std::size_t operator()(const wmn::net::Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,7 @@
+// Packet is header-only today; this TU anchors the library and hosts
+// the one out-of-line definition gcc wants for vague-linkage hygiene.
+#include "net/packet.hpp"
+
+namespace wmn::net {
+// (intentionally empty)
+}  // namespace wmn::net

@@ -1,0 +1,134 @@
+// Packet model.
+//
+// A Packet is a byte-size-accounted container with a typed header
+// stack. Headers are plain structs defined by the layer that uses them
+// (MAC header in mac/, AODV headers in routing/, ...); the packet
+// stores them type-erased so lower layers need no knowledge of upper
+// protocols. Header *contents are immutable once pushed* — forwarding a
+// modified header means copying the struct, editing the copy, and
+// pushing it onto a fresh packet. This makes the cheap shallow copy
+// (shared header payloads) used for broadcast fan-out safe.
+//
+// Byte accounting: each header contributes its declared wire size; the
+// application payload contributes `payload_bytes`. `size_bytes()` is
+// what the PHY serializes, so MAC/PHY timing is driven by realistic
+// frame sizes.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wmn::net {
+
+// Every header struct must expose:
+//   static constexpr std::uint32_t kWireSize;   // bytes on the air
+// (checked at push time via the Header concept below).
+template <typename T>
+concept Header = requires {
+  { T::kWireSize } -> std::convertible_to<std::uint32_t>;
+};
+
+class Packet {
+ public:
+  Packet(std::uint64_t uid, std::uint32_t payload_bytes, sim::Time created)
+      : uid_(uid), payload_bytes_(payload_bytes), created_(created) {}
+
+  // Copies share immutable header payloads (cheap broadcast fan-out).
+  Packet(const Packet&) = default;
+  Packet& operator=(const Packet&) = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+  [[nodiscard]] sim::Time created() const { return created_; }
+  [[nodiscard]] std::uint32_t payload_bytes() const { return payload_bytes_; }
+
+  // Total on-air size: payload plus all pushed headers.
+  [[nodiscard]] std::uint32_t size_bytes() const {
+    return payload_bytes_ + header_bytes_;
+  }
+
+  // --- header stack ---------------------------------------------------
+  template <Header T>
+  void push(T header) {
+    stack_.push_back(Slot{std::type_index(typeid(T)),
+                          std::make_shared<T>(std::move(header)),
+                          T::kWireSize});
+    header_bytes_ += T::kWireSize;
+  }
+
+  // Read the top-of-stack header, which must be a T.
+  template <Header T>
+  [[nodiscard]] const T& peek() const {
+    assert(!stack_.empty() && "peek on empty header stack");
+    assert(stack_.back().type == std::type_index(typeid(T)) &&
+           "header stack type mismatch");
+    return *static_cast<const T*>(stack_.back().data.get());
+  }
+
+  // Remove and return the top-of-stack header, which must be a T.
+  template <Header T>
+  T pop() {
+    T out = peek<T>();
+    header_bytes_ -= stack_.back().wire_size;
+    stack_.pop_back();
+    return out;
+  }
+
+  // True if the top-of-stack header is a T.
+  template <Header T>
+  [[nodiscard]] bool top_is() const {
+    return !stack_.empty() && stack_.back().type == std::type_index(typeid(T));
+  }
+
+  [[nodiscard]] std::size_t header_count() const { return stack_.size(); }
+
+  // --- end-to-end metadata (set by the traffic layer, read by stats) --
+  struct FlowInfo {
+    std::uint32_t flow_id = 0;
+    std::uint64_t seq = 0;
+    sim::Time sent_at{};
+    bool valid = false;
+  };
+  void set_flow_info(FlowInfo info) { flow_ = info; }
+  [[nodiscard]] const FlowInfo& flow_info() const { return flow_; }
+
+ private:
+  struct Slot {
+    std::type_index type;
+    std::shared_ptr<const void> data;
+    std::uint32_t wire_size;
+  };
+
+  std::uint64_t uid_;
+  std::uint32_t payload_bytes_;
+  std::uint32_t header_bytes_ = 0;
+  sim::Time created_;
+  std::vector<Slot> stack_;
+  FlowInfo flow_;
+};
+
+// Factory handing out process-unique packet uids within one simulation.
+class PacketFactory {
+ public:
+  PacketFactory() = default;
+  PacketFactory(const PacketFactory&) = delete;
+  PacketFactory& operator=(const PacketFactory&) = delete;
+
+  [[nodiscard]] Packet make(std::uint32_t payload_bytes, sim::Time now) {
+    return Packet(++next_uid_, payload_bytes, now);
+  }
+
+  [[nodiscard]] std::uint64_t packets_created() const { return next_uid_; }
+
+ private:
+  std::uint64_t next_uid_ = 0;
+};
+
+}  // namespace wmn::net

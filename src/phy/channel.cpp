@@ -1,0 +1,51 @@
+#include "phy/channel.hpp"
+
+#include <cassert>
+
+namespace wmn::phy {
+
+WirelessChannel::WirelessChannel(sim::Simulator& simulator,
+                                 std::unique_ptr<PropagationModel> propagation)
+    : sim_(simulator), propagation_(std::move(propagation)) {
+  assert(propagation_ != nullptr);
+}
+
+void WirelessChannel::attach(WifiPhy* phy) {
+  assert(phy != nullptr);
+  radios_.push_back(phy);
+  phy->attach(this);
+}
+
+double WirelessChannel::link_rx_power_dbm(const WifiPhy& tx,
+                                          const WifiPhy& rx) const {
+  const sim::Time now = sim_.now();
+  return propagation_->rx_power_dbm(tx.config().tx_power_dbm, tx.position(now),
+                                    rx.position(now), tx.node_id(), rx.node_id());
+}
+
+void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
+                               sim::Time duration) {
+  ++counters_.transmissions;
+  const sim::Time now = sim_.now();
+  const mobility::Vec2 tx_pos = src.position(now);
+
+  for (WifiPhy* rx : radios_) {
+    if (rx == &src) continue;
+    const mobility::Vec2 rx_pos = rx->position(now);
+    const double p_dbm = propagation_->rx_power_dbm(
+        src.config().tx_power_dbm, tx_pos, rx_pos, src.node_id(), rx->node_id());
+    if (p_dbm < rx->config().detection_floor_dbm) {
+      ++counters_.copies_dropped_floor;
+      continue;
+    }
+    ++counters_.copies_delivered;
+    const double dist = tx_pos.distance_to(rx_pos);
+    const sim::Time delay = sim::Time::seconds(dist / kSpeedOfLight);
+    // Each receiver gets its own (cheap, header-sharing) packet copy.
+    sim_.schedule(delay, [rx, pkt = packet, p_dbm, duration]() mutable {
+      rx->begin_arrival(std::move(pkt), p_dbm, duration);
+    });
+  }
+}
+
+}  // namespace wmn::phy

@@ -1,0 +1,56 @@
+// The shared wireless medium.
+//
+// One WirelessChannel per simulation: it knows every attached radio,
+// and on each transmission computes per-receiver received power through
+// the propagation model, delivering an energy arrival (after speed-of-
+// light delay) to every radio above the detection floor. Whether the
+// arrival is a decodable frame, carrier-sense energy, or interference
+// is the *receiving* radio's business (see WifiPhy).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "phy/propagation.hpp"
+#include "phy/wifi_phy.hpp"
+#include "sim/simulator.hpp"
+
+namespace wmn::phy {
+
+class WirelessChannel {
+ public:
+  WirelessChannel(sim::Simulator& simulator,
+                  std::unique_ptr<PropagationModel> propagation);
+
+  WirelessChannel(const WirelessChannel&) = delete;
+  WirelessChannel& operator=(const WirelessChannel&) = delete;
+
+  // Register a radio. The radio must outlive the channel's use of it.
+  void attach(WifiPhy* phy);
+
+  // Broadcast `packet` from `src` to every other attached radio.
+  // Called by WifiPhy::send(); not part of the public user API.
+  void transmit(const WifiPhy& src, const net::Packet& packet, sim::Time duration);
+
+  [[nodiscard]] std::size_t radio_count() const { return radios_.size(); }
+
+  // Received power between two attached radios right now — used by
+  // scenario builders to check topology connectivity before a run.
+  [[nodiscard]] double link_rx_power_dbm(const WifiPhy& tx, const WifiPhy& rx) const;
+
+  struct Counters {
+    std::uint64_t transmissions = 0;
+    std::uint64_t copies_delivered = 0;  // arrivals above detection floor
+    std::uint64_t copies_dropped_floor = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<PropagationModel> propagation_;
+  std::vector<WifiPhy*> radios_;
+  Counters counters_;
+};
+
+}  // namespace wmn::phy

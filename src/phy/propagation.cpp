@@ -1,0 +1,108 @@
+#include "phy/propagation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "phy/units.hpp"
+#include "sim/rng.hpp"
+
+namespace wmn::phy {
+
+namespace {
+// Distance floored to a few centimetres: co-located nodes must not
+// produce infinite receive power.
+double safe_distance(mobility::Vec2 a, mobility::Vec2 b) {
+  return std::max(a.distance_to(b), 0.05);
+}
+}  // namespace
+
+// --- Friis ------------------------------------------------------------
+
+FriisModel::FriisModel(double frequency_hz, double system_loss_db)
+    : frequency_hz_(frequency_hz), system_loss_db_(system_loss_db) {
+  assert(frequency_hz > 0.0);
+}
+
+double FriisModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                mobility::Vec2 rx_pos, std::uint32_t,
+                                std::uint32_t) const {
+  const double d = safe_distance(tx_pos, rx_pos);
+  const double lambda = kSpeedOfLight / frequency_hz_;
+  const double pl_db =
+      20.0 * std::log10(4.0 * std::numbers::pi * d / lambda) + system_loss_db_;
+  return tx_power_dbm - pl_db;
+}
+
+// --- Log-distance -------------------------------------------------------
+
+LogDistanceModel::LogDistanceModel(double exponent, double reference_distance_m,
+                                   double reference_loss_db)
+    : exponent_(exponent),
+      reference_distance_m_(reference_distance_m),
+      reference_loss_db_(reference_loss_db) {
+  assert(exponent > 0.0 && reference_distance_m > 0.0);
+}
+
+double LogDistanceModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                      mobility::Vec2 rx_pos, std::uint32_t,
+                                      std::uint32_t) const {
+  const double d = std::max(safe_distance(tx_pos, rx_pos), reference_distance_m_);
+  const double pl_db =
+      reference_loss_db_ + 10.0 * exponent_ * std::log10(d / reference_distance_m_);
+  return tx_power_dbm - pl_db;
+}
+
+// --- Two-ray ground -----------------------------------------------------
+
+TwoRayGroundModel::TwoRayGroundModel(double frequency_hz, double antenna_height_m)
+    : friis_(frequency_hz, 0.0),
+      frequency_hz_(frequency_hz),
+      antenna_height_m_(antenna_height_m) {
+  assert(antenna_height_m > 0.0);
+}
+
+double TwoRayGroundModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                       mobility::Vec2 rx_pos, std::uint32_t tx_id,
+                                       std::uint32_t rx_id) const {
+  const double d = safe_distance(tx_pos, rx_pos);
+  const double lambda = kSpeedOfLight / frequency_hz_;
+  const double dc = 4.0 * std::numbers::pi * antenna_height_m_ * antenna_height_m_ /
+                    lambda;
+  if (d < dc) {
+    return friis_.rx_power_dbm(tx_power_dbm, tx_pos, rx_pos, tx_id, rx_id);
+  }
+  // Pr = Pt * ht^2 hr^2 / d^4 (both antennas at the same height).
+  const double h2 = antenna_height_m_ * antenna_height_m_;
+  const double gain_lin = (h2 * h2) / (d * d * d * d);
+  return tx_power_dbm + linear_to_db(gain_lin);
+}
+
+// --- Log-normal shadowing -------------------------------------------------
+
+LogNormalShadowing::LogNormalShadowing(std::unique_ptr<PropagationModel> inner,
+                                       double sigma_db, std::uint64_t seed)
+    : inner_(std::move(inner)), sigma_db_(sigma_db), seed_(seed) {
+  assert(inner_ != nullptr && sigma_db >= 0.0);
+}
+
+double LogNormalShadowing::link_offset_db(std::uint32_t a, std::uint32_t b) const {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  const std::uint64_t link = (static_cast<std::uint64_t>(lo) << 32) | hi;
+  // One Gaussian draw from a stream keyed by (seed, link); the stream
+  // is recreated per call, which is cheap (a few integer mixes) and
+  // guarantees the offset is a pure function of (seed, link).
+  sim::RngStream rng(seed_, link ^ 0x5AD0'0000'0000'0001ULL);
+  return rng.normal(0.0, sigma_db_);
+}
+
+double LogNormalShadowing::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                        mobility::Vec2 rx_pos, std::uint32_t tx_id,
+                                        std::uint32_t rx_id) const {
+  return inner_->rx_power_dbm(tx_power_dbm, tx_pos, rx_pos, tx_id, rx_id) +
+         link_offset_db(tx_id, rx_id);
+}
+
+}  // namespace wmn::phy

@@ -1,0 +1,100 @@
+// Radio propagation (path-loss) models.
+//
+// A model maps (tx power, positions, link identity) to received power
+// in dBm. Link identity (the unordered node-id pair) lets the shadowing
+// wrapper draw a per-link offset that is deterministic for a given
+// master seed and symmetric (reciprocal links fade identically), which
+// keeps runs reproducible and unicast/ACK behaviour consistent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mobility/vec2.hpp"
+
+namespace wmn::phy {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  [[nodiscard]] virtual double rx_power_dbm(double tx_power_dbm,
+                                            mobility::Vec2 tx_pos,
+                                            mobility::Vec2 rx_pos,
+                                            std::uint32_t tx_id,
+                                            std::uint32_t rx_id) const = 0;
+};
+
+// Free-space (Friis) model: PL(d) = 20 log10(4 pi d f / c).
+class FriisModel final : public PropagationModel {
+ public:
+  explicit FriisModel(double frequency_hz = 2.4e9, double system_loss_db = 0.0);
+
+  [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                    mobility::Vec2 rx_pos, std::uint32_t,
+                                    std::uint32_t) const override;
+
+ private:
+  double frequency_hz_;
+  double system_loss_db_;
+};
+
+// Log-distance model: PL(d) = PL(d0) + 10 n log10(d / d0).
+// The workhorse model for urban mesh deployments; defaults are
+// calibrated so that with 15 dBm TX and -85 dBm sensitivity the
+// communication range is ~250 m and the detection range ~480 m — the
+// classic ns-2 two-range setup WMN papers assume.
+class LogDistanceModel final : public PropagationModel {
+ public:
+  explicit LogDistanceModel(double exponent = 2.5, double reference_distance_m = 1.0,
+                            double reference_loss_db = 40.0);
+
+  [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                    mobility::Vec2 rx_pos, std::uint32_t,
+                                    std::uint32_t) const override;
+
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  double reference_distance_m_;
+  double reference_loss_db_;
+};
+
+// Two-ray ground-reflection model with Friis crossover below the
+// critical distance dc = 4 pi ht hr / lambda.
+class TwoRayGroundModel final : public PropagationModel {
+ public:
+  TwoRayGroundModel(double frequency_hz = 2.4e9, double antenna_height_m = 1.5);
+
+  [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                    mobility::Vec2 rx_pos, std::uint32_t,
+                                    std::uint32_t) const override;
+
+ private:
+  FriisModel friis_;
+  double frequency_hz_;
+  double antenna_height_m_;
+};
+
+// Decorator adding static log-normal shadowing: a per-link Gaussian
+// offset with the given sigma, derived by hashing the unordered link
+// pair with the seed (deterministic, reciprocal, reproducible).
+class LogNormalShadowing final : public PropagationModel {
+ public:
+  LogNormalShadowing(std::unique_ptr<PropagationModel> inner, double sigma_db,
+                     std::uint64_t seed);
+
+  [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
+                                    mobility::Vec2 rx_pos, std::uint32_t tx_id,
+                                    std::uint32_t rx_id) const override;
+
+ private:
+  [[nodiscard]] double link_offset_db(std::uint32_t a, std::uint32_t b) const;
+
+  std::unique_ptr<PropagationModel> inner_;
+  double sigma_db_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wmn::phy

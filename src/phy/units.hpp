@@ -1,0 +1,32 @@
+// Power unit conversions. Powers cross module boundaries in dBm
+// (human-scale, what configs use) but are summed in milliwatts
+// (interference is additive in linear units only).
+#pragma once
+
+#include <cmath>
+
+namespace wmn::phy {
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+[[nodiscard]] inline double mw_to_dbm(double mw) {
+  // Floor far below any modelled signal so log10(0) cannot occur.
+  if (mw <= 1e-30) return -300.0;
+  return 10.0 * std::log10(mw);
+}
+
+[[nodiscard]] inline double db_to_linear(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+[[nodiscard]] inline double linear_to_db(double lin) {
+  if (lin <= 1e-30) return -300.0;
+  return 10.0 * std::log10(lin);
+}
+
+// Speed of light (m/s) for propagation delay.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+}  // namespace wmn::phy

@@ -1,0 +1,134 @@
+#include "phy/wifi_phy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "phy/channel.hpp"
+
+namespace wmn::phy {
+
+WifiPhy::WifiPhy(sim::Simulator& simulator, const PhyConfig& cfg,
+                 std::uint32_t node_id, const mobility::MobilityModel* mobility)
+    : sim_(simulator), cfg_(cfg), node_id_(node_id), mobility_(mobility) {
+  assert(mobility_ != nullptr);
+}
+
+sim::Time WifiPhy::tx_duration(std::uint32_t bytes) const {
+  const double payload_s = static_cast<double>(bytes) * 8.0 / cfg_.bit_rate_bps;
+  return cfg_.preamble + sim::Time::seconds(payload_s);
+}
+
+bool WifiPhy::cca_busy() const {
+  if (state_ != State::kIdle) return true;
+  return interference_mw(~0ULL) >= dbm_to_mw(cfg_.cca_threshold_dbm);
+}
+
+void WifiPhy::refresh_cca() {
+  const bool busy = cca_busy();
+  if (busy == last_cca_busy_) return;
+  if (busy) {
+    busy_since_ = sim_.now();
+  } else {
+    counters_.busy_time += sim_.now() - busy_since_;
+  }
+  last_cca_busy_ = busy;
+  if (listener_ != nullptr) listener_->on_cca_change(busy);
+}
+
+double WifiPhy::interference_mw(std::uint64_t except_key) const {
+  double sum = 0.0;
+  for (const auto& a : arrivals_) {
+    if (a.key != except_key) sum += a.power_mw;
+  }
+  return sum;
+}
+
+void WifiPhy::send(net::Packet packet) {
+  assert(state_ == State::kIdle && "send() requires an idle radio");
+  assert(channel_ != nullptr && "radio not attached to a channel");
+  state_ = State::kTx;
+  const sim::Time duration = tx_duration(packet.size_bytes());
+  counters_.tx_airtime += duration;
+  ++counters_.tx_frames;
+  channel_->transmit(*this, packet, duration);
+  sim_.schedule(duration, [this] { finish_tx(); });
+  refresh_cca();
+}
+
+void WifiPhy::finish_tx() {
+  assert(state_ == State::kTx);
+  state_ = State::kIdle;
+  // Energy that arrived while we were transmitting may still be on the
+  // air; CCA reflects it now that TX no longer dominates.
+  refresh_cca();
+  if (listener_ != nullptr) listener_->on_tx_end();
+}
+
+void WifiPhy::begin_arrival(net::Packet packet, double rx_power_dbm,
+                            sim::Time duration) {
+  const double power_mw = dbm_to_mw(rx_power_dbm);
+  const std::uint64_t key = ++next_arrival_key_;
+  arrivals_.push_back(Arrival{key, std::move(packet), power_mw, sim_.now() + duration});
+
+  const bool decodable = rx_power_dbm >= cfg_.rx_sensitivity_dbm;
+  if (state_ == State::kIdle && !locked_ && decodable) {
+    // Lock onto this frame.
+    locked_ = true;
+    locked_key_ = key;
+    locked_since_ = sim_.now();
+    locked_power_mw_ = power_mw;
+    locked_max_interference_mw_ = interference_mw(key);
+    state_ = State::kRx;
+    if (listener_ != nullptr) listener_->on_rx_start();
+  } else {
+    if (decodable) {
+      if (state_ == State::kIdle && !locked_) {
+        // unreachable: decodable && idle implies lock above
+      } else {
+        ++counters_.rx_missed_busy;
+      }
+    } else {
+      ++counters_.rx_below_sensitivity;
+    }
+    // This arrival raises the interference seen by a locked frame.
+    if (locked_) {
+      locked_max_interference_mw_ =
+          std::max(locked_max_interference_mw_, interference_mw(locked_key_));
+    }
+  }
+
+  sim_.schedule(duration, [this, key] { end_arrival(key); });
+  refresh_cca();
+}
+
+void WifiPhy::end_arrival(std::uint64_t key) {
+  const auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                               [key](const Arrival& a) { return a.key == key; });
+  assert(it != arrivals_.end());
+
+  const bool was_locked_frame = locked_ && key == locked_key_;
+  net::Packet packet = std::move(it->packet);
+  arrivals_.erase(it);
+
+  if (was_locked_frame) {
+    locked_ = false;
+    counters_.rx_airtime += sim_.now() - locked_since_;
+    state_ = State::kIdle;
+    const double noise_mw = dbm_to_mw(cfg_.noise_floor_dbm);
+    const double sinr_lin =
+        locked_power_mw_ / (noise_mw + locked_max_interference_mw_);
+    const bool ok = linear_to_db(sinr_lin) >= cfg_.sinr_threshold_db;
+    const double rx_dbm = mw_to_dbm(locked_power_mw_);
+    if (ok) {
+      ++counters_.rx_ok;
+      if (listener_ != nullptr) listener_->on_rx_end(std::move(packet), rx_dbm);
+    } else {
+      ++counters_.rx_failed_sinr;
+      if (listener_ != nullptr) listener_->on_rx_end(std::nullopt, rx_dbm);
+    }
+  }
+  refresh_cca();
+}
+
+}  // namespace wmn::phy

@@ -1,0 +1,179 @@
+// Half-duplex radio with SINR-based reception.
+//
+// State machine: IDLE -> TX (MAC asked to send), IDLE -> RX (locked
+// onto the first arrival strong enough to decode), arrivals during TX
+// or RX are interference. CCA reports busy whenever the radio is not
+// IDLE or the summed arrival energy exceeds the CCA threshold, which is
+// how carrier sensing extends beyond decode range (the hidden/exposed
+// terminal geometry the MAC must live with).
+//
+// Reception outcome: a locked frame is decoded successfully iff the
+// SINR — locked power over (noise floor + the *maximum* concurrent
+// interference seen during the frame) — clears the capture threshold.
+// The max-interference rule is the standard conservative approximation
+// (a frame clobbered for any part of its duration is lost).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "net/packet.hpp"
+#include "phy/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace wmn::phy {
+
+class WirelessChannel;
+
+struct PhyConfig {
+  double tx_power_dbm = 15.0;
+  double bit_rate_bps = 2e6;           // 802.11 (1999) 2 Mb/s DSSS regime
+  sim::Time preamble = sim::Time::micros(192.0);
+  double noise_floor_dbm = -96.0;      // thermal + NF over ~22 MHz
+  double rx_sensitivity_dbm = -85.0;   // min power to lock/decode
+  double cca_threshold_dbm = -92.0;    // energy-detect busy threshold
+  double detection_floor_dbm = -98.0;  // below this the channel drops the copy
+  double sinr_threshold_db = 10.0;     // capture/decode threshold
+
+  // Radio power draw for the energy model (typical 802.11b card).
+  double power_tx_w = 1.4;
+  double power_rx_w = 0.9;    // actively decoding a locked frame
+  double power_idle_w = 0.8;  // listening (idle or CCA-busy unlocked)
+};
+
+// Upper-layer (MAC) callbacks. All are invoked from the event loop.
+class PhyListener {
+ public:
+  virtual ~PhyListener() = default;
+
+  // A decodable frame started arriving (the radio locked onto it).
+  virtual void on_rx_start() = 0;
+
+  // Frame reception finished. `packet` is empty on decode failure
+  // (SINR below threshold). `rx_power_dbm` is the locked frame power.
+  virtual void on_rx_end(std::optional<net::Packet> packet,
+                         double rx_power_dbm) = 0;
+
+  // Our own transmission completed; the radio is free again.
+  virtual void on_tx_end() = 0;
+
+  // Carrier-sense state changed (true = busy).
+  virtual void on_cca_change(bool busy) = 0;
+};
+
+class WifiPhy {
+ public:
+  enum class State { kIdle, kTx, kRx };
+
+  WifiPhy(sim::Simulator& simulator, const PhyConfig& cfg, std::uint32_t node_id,
+          const mobility::MobilityModel* mobility);
+
+  WifiPhy(const WifiPhy&) = delete;
+  WifiPhy& operator=(const WifiPhy&) = delete;
+
+  void attach(WirelessChannel* channel) { channel_ = channel; }
+  void set_listener(PhyListener* listener) { listener_ = listener; }
+
+  // --- MAC-facing API --------------------------------------------------
+  // Transmit a frame. Precondition: can_transmit(). The MAC is notified
+  // via on_tx_end() when the air time elapses.
+  void send(net::Packet packet);
+
+  [[nodiscard]] bool can_transmit() const { return state_ == State::kIdle; }
+
+  // Full frame air time for a given size at the configured rate.
+  [[nodiscard]] sim::Time tx_duration(std::uint32_t bytes) const;
+
+  // Carrier-sense: busy if transmitting, receiving, or summed arrival
+  // energy above the CCA threshold.
+  [[nodiscard]] bool cca_busy() const;
+
+  [[nodiscard]] State state() const { return state_; }
+
+  // --- channel-facing API ----------------------------------------------
+  // An energy arrival begins at this radio (called by the channel after
+  // propagation delay). `rx_power_dbm` is already path-loss adjusted.
+  void begin_arrival(net::Packet packet, double rx_power_dbm, sim::Time duration);
+
+  [[nodiscard]] mobility::Vec2 position(sim::Time now) const {
+    return mobility_->position(now);
+  }
+  [[nodiscard]] std::uint32_t node_id() const { return node_id_; }
+  [[nodiscard]] const PhyConfig& config() const { return cfg_; }
+
+  // Total time this radio has seen the medium busy (including its own
+  // transmissions), up to the current instant. Monotone; the
+  // LoadMonitor differences it over windows.
+  [[nodiscard]] sim::Time cumulative_busy_time() const {
+    sim::Time t = counters_.busy_time;
+    if (last_cca_busy_) t += sim_.now() - busy_since_;
+    return t;
+  }
+
+  // --- diagnostics ------------------------------------------------------
+  struct Counters {
+    std::uint64_t tx_frames = 0;
+    std::uint64_t rx_ok = 0;
+    std::uint64_t rx_failed_sinr = 0;   // locked but clobbered
+    std::uint64_t rx_missed_busy = 0;   // arrival while TX/RX-locked
+    std::uint64_t rx_below_sensitivity = 0;
+    sim::Time tx_airtime{};
+    sim::Time rx_airtime{};             // time spent RX-locked
+    sim::Time busy_time{};              // cumulative CCA-busy time
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // Energy consumed since t=0 under the configured power draws:
+  // TX at power_tx_w, RX-locked at power_rx_w, everything else
+  // (listening, idle, carrier-sensing) at power_idle_w.
+  [[nodiscard]] double energy_joules() const {
+    const double total_s = sim_.now().to_seconds();
+    const double tx_s = counters_.tx_airtime.to_seconds();
+    double rx_s = counters_.rx_airtime.to_seconds();
+    if (locked_) rx_s += (sim_.now() - locked_since_).to_seconds();
+    const double idle_s = total_s - tx_s - rx_s;
+    return cfg_.power_tx_w * tx_s + cfg_.power_rx_w * rx_s +
+           cfg_.power_idle_w * (idle_s > 0.0 ? idle_s : 0.0);
+  }
+
+ private:
+  struct Arrival {
+    std::uint64_t key;
+    net::Packet packet;
+    double power_mw;
+    sim::Time end;
+  };
+
+  void end_arrival(std::uint64_t key);
+  void finish_tx();
+  // Sum of arrival power excluding the given key (linear mW).
+  [[nodiscard]] double interference_mw(std::uint64_t except_key) const;
+  void refresh_cca();
+
+  sim::Simulator& sim_;
+  PhyConfig cfg_;
+  std::uint32_t node_id_;
+  const mobility::MobilityModel* mobility_;
+  WirelessChannel* channel_ = nullptr;
+  PhyListener* listener_ = nullptr;
+
+  State state_ = State::kIdle;
+  std::vector<Arrival> arrivals_;
+  std::uint64_t next_arrival_key_ = 0;
+
+  // Reception lock.
+  bool locked_ = false;
+  std::uint64_t locked_key_ = 0;
+  sim::Time locked_since_{};
+  double locked_power_mw_ = 0.0;
+  double locked_max_interference_mw_ = 0.0;
+
+  bool last_cca_busy_ = false;
+  sim::Time busy_since_{};
+  Counters counters_;
+};
+
+}  // namespace wmn::phy

@@ -1,0 +1,741 @@
+#include "routing/aodv.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace wmn::routing {
+
+namespace {
+constexpr std::uint64_t kAodvStreamSalt = 0xA0D0'0000'0000'0000ULL;
+
+// Milliseconds clamp for the RREP lifetime field.
+std::uint32_t to_lifetime_ms(sim::Time t) {
+  const auto ms = t.ns() / 1'000'000;
+  return ms < 0 ? 0u : static_cast<std::uint32_t>(ms);
+}
+}  // namespace
+
+AodvAgent::AodvAgent(sim::Simulator& simulator, const AodvConfig& cfg,
+                     net::Address self, mac::DcfMac& mac,
+                     net::PacketFactory& factory,
+                     std::unique_ptr<RebroadcastPolicy> rebroadcast,
+                     std::unique_ptr<RouteSelectionPolicy> selection,
+                     std::unique_ptr<LoadSource> load)
+    : sim_(simulator),
+      cfg_(cfg),
+      self_(self),
+      mac_(mac),
+      factory_(factory),
+      rebroadcast_(std::move(rebroadcast)),
+      selection_(std::move(selection)),
+      load_(std::move(load)),
+      rng_(simulator.make_stream(kAodvStreamSalt ^ self.value())),
+      neighbors_(simulator, cfg.hello_interval, cfg.allowed_hello_loss) {
+  assert(rebroadcast_ && selection_ && load_);
+
+  mac_.set_rx_callback(
+      [this](net::Packet p, net::Address src) { on_mac_receive(std::move(p), src); });
+  mac_.set_tx_failed_callback([this](net::Address dst, net::Packet p) {
+    on_mac_tx_failed(dst, std::move(p));
+  });
+  neighbors_.set_loss_callback(
+      [this](net::Address n) { on_neighbor_lost(n); });
+
+  // Desynchronize periodic timers across nodes.
+  hello_timer_ = sim_.schedule(
+      cfg_.hello_interval.scaled(rng_.uniform01()), [this] { send_hello(); });
+  housekeeping_timer_ =
+      sim_.schedule(cfg_.housekeeping_interval.scaled(rng_.uniform01()),
+                    [this] { housekeeping(); });
+}
+
+AodvAgent::~AodvAgent() {
+  sim_.cancel(hello_timer_);
+  sim_.cancel(housekeeping_timer_);
+  for (auto& [key, rec] : rreq_cache_) {
+    sim_.cancel(rec.assess_timer);
+    sim_.cancel(rec.reply_timer);
+  }
+  for (auto& [dest, d] : discoveries_) sim_.cancel(d.timer);
+}
+
+double AodvAgent::neighbourhood_load() const {
+  const double own = load_->load_index();
+  if (neighbors_.count() == 0) return own;
+  const double w = cfg_.nbhd_self_weight;
+  return w * own + (1.0 - w) * neighbors_.mean_neighbor_load();
+}
+
+// --------------------------------------------------------------------------
+// Application plane
+// --------------------------------------------------------------------------
+
+void AodvAgent::send(net::Packet packet, net::Address dest) {
+  assert(dest.is_valid() && !dest.is_broadcast());
+  ++counters_.data_originated;
+  if (dest == self_) {
+    ++counters_.data_delivered;
+    if (deliver_cb_) deliver_cb_(std::move(packet), self_);
+    return;
+  }
+
+  const RouteEntry* r = routes_.lookup(dest, now());
+  if (r != nullptr) {
+    packet.push(DataHeader{self_, dest, cfg_.data_ttl});
+    routes_.touch(dest, now() + cfg_.active_route_timeout);
+    mac_.enqueue(std::move(packet), r->next_hop);
+    return;
+  }
+
+  // No route: buffer and (if not already running) discover.
+  auto& buf = buffers_[dest];
+  if (buf.size() >= cfg_.buffer_capacity) {
+    buf.pop_front();
+    ++counters_.data_dropped_buffer;
+  }
+  buf.push_back(BufferedPacket{std::move(packet), now()});
+  if (!discoveries_.contains(dest)) start_discovery(dest);
+}
+
+void AodvAgent::flush_buffer(net::Address dest) {
+  auto it = buffers_.find(dest);
+  if (it == buffers_.end()) return;
+  std::deque<BufferedPacket> pending = std::move(it->second);
+  buffers_.erase(it);
+  for (auto& bp : pending) {
+    const RouteEntry* r = routes_.lookup(dest, now());
+    if (r == nullptr) {
+      ++counters_.data_dropped_no_route;
+      continue;
+    }
+    bp.packet.push(DataHeader{self_, dest, cfg_.data_ttl});
+    mac_.enqueue(std::move(bp.packet), r->next_hop);
+  }
+}
+
+void AodvAgent::drop_buffer(net::Address dest, const char*) {
+  auto it = buffers_.find(dest);
+  if (it == buffers_.end()) return;
+  counters_.data_dropped_no_route += it->second.size();
+  buffers_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Route discovery
+// --------------------------------------------------------------------------
+
+void AodvAgent::start_discovery(net::Address dest) {
+  ++counters_.discovery_started;
+  Discovery d;
+  d.attempts = 0;
+  discoveries_[dest] = d;
+  send_rreq(dest, 0);
+}
+
+std::optional<std::uint8_t> AodvAgent::ttl_for_attempt(
+    std::uint32_t attempt) const {
+  std::uint32_t rings = 0;
+  if (cfg_.expanding_ring) {
+    for (std::uint32_t t = cfg_.ers_ttl_start; t <= cfg_.ers_ttl_threshold;
+         t += cfg_.ers_ttl_increment) {
+      if (attempt == rings) return static_cast<std::uint8_t>(t);
+      ++rings;
+    }
+  }
+  // Network-wide attempts: 1 + rreq_retries of them.
+  if (attempt < rings + 1 + cfg_.rreq_retries) return cfg_.rreq_ttl;
+  return std::nullopt;
+}
+
+void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
+  const auto ttl = ttl_for_attempt(attempt);
+  assert(ttl.has_value());
+  ++counters_.rreq_originated;
+  ++seqno_;
+  ++rreq_id_;
+
+  RreqHeader hdr;
+  hdr.rreq_id = rreq_id_;
+  hdr.origin = self_;
+  hdr.origin_seqno = seqno_;
+  hdr.dest = dest;
+  hdr.hop_count = 0;
+  hdr.ttl = *ttl;
+  if (RouteEntry* e = routes_.find(dest); e != nullptr && e->valid_seqno) {
+    hdr.dest_seqno = e->dest_seqno;
+    hdr.unknown_dest_seqno = false;
+  }
+
+  net::Packet pkt = factory_.make(0, now());
+  if (cfg_.use_load_metric) {
+    // The origin contributes its own neighbourhood load so paths
+    // leaving a congested source are penalized too.
+    pkt.push(LoadTlv{neighbourhood_load()});
+  }
+  pkt.push(hdr);
+  mac_.enqueue(std::move(pkt), net::Address::broadcast());
+
+  auto it = discoveries_.find(dest);
+  assert(it != discoveries_.end());
+  it->second.attempts = attempt + 1;
+  // RREP wait scales with the ring radius (ring traversal time) and
+  // doubles per network-wide retry, randomized by up to +50%: two
+  // nodes whose first RREQs collided must not re-collide on every
+  // retry.
+  sim::Time wait;
+  if (*ttl < cfg_.rreq_ttl) {
+    wait = cfg_.net_traversal_time.scaled(
+        static_cast<double>(*ttl + 2) / static_cast<double>(cfg_.rreq_ttl));
+  } else {
+    const std::uint32_t full_attempt =
+        attempt - (cfg_.expanding_ring
+                       ? (cfg_.ers_ttl_threshold - cfg_.ers_ttl_start) /
+                                 cfg_.ers_ttl_increment +
+                             1
+                       : 0);
+    wait = cfg_.net_traversal_time * (std::int64_t{1} << std::min(full_attempt, 4u));
+  }
+  wait = wait.scaled(rng_.uniform(1.0, 1.5));
+  it->second.timer =
+      sim_.schedule(wait, [this, dest] { on_discovery_timeout(dest); });
+}
+
+void AodvAgent::on_discovery_timeout(net::Address dest) {
+  auto it = discoveries_.find(dest);
+  if (it == discoveries_.end()) return;
+  if (routes_.lookup(dest, now()) != nullptr) {
+    // Route appeared without us noticing a RREP (e.g. learned from a
+    // passing RREQ); treat as success.
+    ++counters_.discovery_succeeded;
+    discoveries_.erase(it);
+    flush_buffer(dest);
+    return;
+  }
+  if (ttl_for_attempt(it->second.attempts).has_value()) {
+    send_rreq(dest, it->second.attempts);
+    return;
+  }
+  ++counters_.discovery_failed;
+  discoveries_.erase(it);
+  drop_buffer(dest, "discovery failed");
+}
+
+void AodvAgent::handle_rreq(net::Packet packet, net::Address src) {
+  RreqHeader hdr = packet.pop<RreqHeader>();
+  const double path_load =
+      cfg_.use_load_metric ? packet.pop<LoadTlv>().load : 0.0;
+
+  if (hdr.origin == self_) return;  // echo of our own flood
+
+  neighbors_.refresh(src);
+  upsert_neighbor_route(src);
+
+  // Reverse route toward the origin (used to source the RREP back).
+  const RouteCandidate rev{path_load,
+                           static_cast<std::uint8_t>(hdr.hop_count + 1)};
+  update_route(hdr.origin, src, hdr.origin_seqno, true, rev,
+               cfg_.active_route_timeout);
+
+  const RreqKey key = make_key(hdr.origin, hdr.rreq_id);
+  auto it = rreq_cache_.find(key);
+  if (it != rreq_cache_.end()) {
+    ++counters_.rreq_duplicates;
+    RreqRecord& rec = it->second;
+    ++rec.copies;
+    // A destination collecting copies considers this one too.
+    if (self_ == hdr.dest && !rec.replied && sim_.pending(rec.reply_timer)) {
+      const RouteCandidate cand{path_load, hdr.hop_count};
+      if (!rec.best || selection_->better(cand, *rec.best)) {
+        rec.best = cand;
+        rec.best_prev_hop = src;
+        rec.pending_forward = hdr;
+      }
+    }
+    return;
+  }
+
+  ++counters_.rreq_received;
+  RreqRecord rec;
+  rec.first_seen = now();
+
+  if (self_ == hdr.dest) {
+    const RouteCandidate cand{path_load, hdr.hop_count};
+    rec.best = cand;
+    rec.best_prev_hop = src;
+    rec.pending_forward = hdr;
+    const sim::Time wait = selection_->reply_wait();
+    if (wait.is_zero()) {
+      rec.replied = true;
+      rreq_cache_.emplace(key, std::move(rec));
+      send_rrep_as_destination(hdr, cand);
+    } else {
+      rec.reply_timer =
+          sim_.schedule(wait, [this, key] { destination_reply_due(key); });
+      rreq_cache_.emplace(key, std::move(rec));
+    }
+    return;
+  }
+
+  // Intermediate node with a fresh-enough cached route may answer.
+  if (selection_->allow_intermediate_reply()) {
+    const RouteEntry* r = routes_.lookup(hdr.dest, now());
+    if (r != nullptr && r->valid_seqno &&
+        (hdr.unknown_dest_seqno || r->dest_seqno >= hdr.dest_seqno)) {
+      rec.forward_decided = true;
+      rreq_cache_.emplace(key, std::move(rec));
+      ++counters_.rrep_intermediate;
+      send_rrep_from_cache(hdr, *r);
+      return;
+    }
+  }
+
+  if (hdr.ttl <= 1) {
+    rec.forward_decided = true;
+    rreq_cache_.emplace(key, std::move(rec));
+    return;
+  }
+
+  RebroadcastContext ctx;
+  ctx.hop_count = hdr.hop_count;
+  ctx.neighbor_count = neighbors_.count();
+  ctx.own_load = load_->load_index();
+  ctx.neighbourhood_load = neighbourhood_load();
+  ctx.duplicates_seen = 0;
+
+  const RebroadcastDecision dec = rebroadcast_->decide(ctx, rng_);
+  switch (dec.action) {
+    case RebroadcastAction::kForward:
+      rec.forward_decided = true;
+      rreq_cache_.emplace(key, std::move(rec));
+      sim_.schedule(dec.delay,
+                    [this, hdr, path_load] { forward_rreq(hdr, path_load); });
+      break;
+    case RebroadcastAction::kDrop:
+      rec.forward_decided = true;
+      ++counters_.rreq_suppressed;
+      rreq_cache_.emplace(key, std::move(rec));
+      break;
+    case RebroadcastAction::kDefer:
+      rec.pending_forward = hdr;
+      rec.pending_path_load = path_load;
+      rec.assess_timer =
+          sim_.schedule(dec.delay, [this, key] { finish_defer(key); });
+      rreq_cache_.emplace(key, std::move(rec));
+      break;
+  }
+}
+
+void AodvAgent::finish_defer(RreqKey key) {
+  auto it = rreq_cache_.find(key);
+  if (it == rreq_cache_.end()) return;
+  RreqRecord& rec = it->second;
+  if (rec.forward_decided || !rec.pending_forward) return;
+  rec.forward_decided = true;
+
+  RebroadcastContext ctx;
+  ctx.hop_count = rec.pending_forward->hop_count;
+  ctx.neighbor_count = neighbors_.count();
+  ctx.own_load = load_->load_index();
+  ctx.neighbourhood_load = neighbourhood_load();
+  ctx.duplicates_seen = rec.copies - 1;
+
+  if (rebroadcast_->assess(ctx, rng_)) {
+    forward_rreq(*rec.pending_forward, rec.pending_path_load);
+  } else {
+    ++counters_.rreq_suppressed;
+  }
+  rec.pending_forward.reset();
+}
+
+void AodvAgent::forward_rreq(const RreqHeader& hdr, double path_load) {
+  ++counters_.rreq_forwarded;
+  RreqHeader fwd = hdr;
+  ++fwd.hop_count;
+  --fwd.ttl;
+
+  net::Packet pkt = factory_.make(0, now());
+  if (cfg_.use_load_metric) {
+    pkt.push(LoadTlv{path_load + neighbourhood_load()});
+  }
+  pkt.push(fwd);
+  mac_.enqueue(std::move(pkt), net::Address::broadcast());
+}
+
+void AodvAgent::destination_reply_due(RreqKey key) {
+  auto it = rreq_cache_.find(key);
+  if (it == rreq_cache_.end()) return;
+  RreqRecord& rec = it->second;
+  if (rec.replied || !rec.best || !rec.pending_forward) return;
+  rec.replied = true;
+  send_rrep_as_destination(*rec.pending_forward, *rec.best);
+}
+
+void AodvAgent::send_rrep_as_destination(const RreqHeader& hdr,
+                                         const RouteCandidate& cand) {
+  // Destination sequence-number maintenance (RFC 3561 section 6.6.1,
+  // simplified: never answer with a seqno older than the request's).
+  seqno_ = std::max(seqno_ + 1, hdr.unknown_dest_seqno ? 0 : hdr.dest_seqno);
+
+  RrepHeader rep;
+  rep.dest = self_;
+  rep.dest_seqno = seqno_;
+  rep.origin = hdr.origin;
+  rep.hop_count = 0;
+  rep.metric = cand.metric;
+  rep.lifetime_ms = to_lifetime_ms(cfg_.active_route_timeout);
+
+  const RouteEntry* rev = routes_.lookup(hdr.origin, now());
+  if (rev == nullptr) {
+    ++counters_.rrep_dropped;
+    return;
+  }
+  ++counters_.rrep_originated;
+  net::Packet pkt = factory_.make(0, now());
+  pkt.push(rep);
+  mac_.enqueue(std::move(pkt), rev->next_hop);
+}
+
+void AodvAgent::send_rrep_from_cache(const RreqHeader& hdr,
+                                     const RouteEntry& route) {
+  RrepHeader rep;
+  rep.dest = hdr.dest;
+  rep.dest_seqno = route.dest_seqno;
+  rep.origin = hdr.origin;
+  rep.hop_count = route.hop_count;
+  rep.metric = route.metric;
+  rep.lifetime_ms = to_lifetime_ms(route.expires - now());
+
+  const RouteEntry* rev = routes_.lookup(hdr.origin, now());
+  if (rev == nullptr) {
+    ++counters_.rrep_dropped;
+    return;
+  }
+  net::Packet pkt = factory_.make(0, now());
+  pkt.push(rep);
+  mac_.enqueue(std::move(pkt), rev->next_hop);
+}
+
+void AodvAgent::handle_rrep(net::Packet packet, net::Address src) {
+  RrepHeader hdr = packet.pop<RrepHeader>();
+  neighbors_.refresh(src);
+  upsert_neighbor_route(src);
+
+  const auto my_hops = static_cast<std::uint8_t>(hdr.hop_count + 1);
+  const RouteCandidate cand{hdr.metric, my_hops};
+  const sim::Time lifetime = sim::Time::millis(
+      static_cast<double>(std::max<std::uint32_t>(hdr.lifetime_ms, 1000)));
+  update_route(hdr.dest, src, hdr.dest_seqno, true, cand, lifetime);
+
+  if (hdr.origin == self_) {
+    auto it = discoveries_.find(hdr.dest);
+    if (it != discoveries_.end()) {
+      sim_.cancel(it->second.timer);
+      discoveries_.erase(it);
+      ++counters_.discovery_succeeded;
+    }
+    flush_buffer(hdr.dest);
+    return;
+  }
+
+  // Forward toward the origin along the reverse route.
+  const RouteEntry* rev = routes_.lookup(hdr.origin, now());
+  if (rev == nullptr) {
+    ++counters_.rrep_dropped;
+    return;
+  }
+  RrepHeader fwd = hdr;
+  fwd.hop_count = my_hops;
+  // Precursor bookkeeping: the reverse next hop routes through us to
+  // `dest`; the RREP sender routes through us to `origin`.
+  routes_.add_precursor(hdr.dest, rev->next_hop);
+  routes_.add_precursor(hdr.origin, src);
+
+  ++counters_.rrep_forwarded;
+  net::Packet pkt = factory_.make(0, now());
+  pkt.push(fwd);
+  mac_.enqueue(std::move(pkt), rev->next_hop);
+}
+
+// --------------------------------------------------------------------------
+// Route maintenance
+// --------------------------------------------------------------------------
+
+bool AodvAgent::update_route(net::Address dest, net::Address via,
+                             std::uint32_t seqno, bool seqno_valid,
+                             const RouteCandidate& cand, sim::Time lifetime) {
+  if (dest == self_) return false;
+  RouteEntry* e = routes_.find(dest);
+
+  bool accept;
+  if (e == nullptr) {
+    accept = true;
+  } else if (e->valid_seqno && seqno_valid && seqno < e->dest_seqno) {
+    accept = false;  // stale information never overrides fresher state
+  } else if (e->state == RouteState::kInvalid) {
+    accept = true;
+  } else if (!e->valid_seqno) {
+    accept = true;
+  } else if (seqno_valid && seqno > e->dest_seqno) {
+    accept = true;
+  } else {
+    accept = selection_->should_replace(RouteCandidate{e->metric, e->hop_count},
+                                        cand);
+  }
+  if (!accept) {
+    // Same-next-hop updates still refresh the lifetime.
+    if (e != nullptr && e->state == RouteState::kValid && e->next_hop == via) {
+      routes_.touch(dest, now() + lifetime);
+    }
+    return false;
+  }
+
+  RouteEntry entry;
+  entry.dest = dest;
+  entry.next_hop = via;
+  entry.hop_count = cand.hop_count;
+  entry.dest_seqno = seqno;
+  entry.valid_seqno = seqno_valid;
+  entry.metric = cand.metric;
+  entry.state = RouteState::kValid;
+  entry.expires = now() + lifetime;
+  if (e != nullptr) entry.precursors = std::move(e->precursors);
+  routes_.upsert(entry);
+  return true;
+}
+
+void AodvAgent::upsert_neighbor_route(net::Address neighbor) {
+  RouteEntry* e = routes_.find(neighbor);
+  if (e != nullptr && e->state == RouteState::kValid) {
+    routes_.touch(neighbor, now() + cfg_.active_route_timeout);
+    return;
+  }
+  RouteEntry entry;
+  entry.dest = neighbor;
+  entry.next_hop = neighbor;
+  entry.hop_count = 1;
+  entry.valid_seqno = false;
+  entry.metric = 0.0;
+  entry.state = RouteState::kValid;
+  entry.expires = now() + cfg_.active_route_timeout;
+  if (e != nullptr) {
+    entry.dest_seqno = e->dest_seqno;
+    entry.valid_seqno = e->valid_seqno;
+    entry.precursors = std::move(e->precursors);
+  }
+  routes_.upsert(entry);
+}
+
+// --------------------------------------------------------------------------
+// Data plane
+// --------------------------------------------------------------------------
+
+void AodvAgent::handle_data(net::Packet packet, net::Address src) {
+  DataHeader hdr = packet.pop<DataHeader>();
+  neighbors_.refresh(src);
+
+  if (hdr.dest == self_) {
+    ++counters_.data_delivered;
+    // Active routes are refreshed by the traffic they carry.
+    routes_.touch(hdr.origin, now() + cfg_.active_route_timeout);
+    routes_.touch(src, now() + cfg_.active_route_timeout);
+    if (deliver_cb_) deliver_cb_(std::move(packet), hdr.origin);
+    return;
+  }
+
+  if (hdr.ttl <= 1) {
+    ++counters_.data_dropped_ttl;
+    return;
+  }
+
+  const RouteEntry* r = routes_.lookup(hdr.dest, now());
+  if (r == nullptr) {
+    ++counters_.data_dropped_no_route;
+    // Tell upstream nodes the route through us is dead.
+    std::uint32_t s = 0;
+    if (RouteEntry* e = routes_.find(hdr.dest); e != nullptr) s = e->dest_seqno;
+    send_rerr({hdr.dest}, {s});
+    return;
+  }
+
+  DataHeader fwd = hdr;
+  --fwd.ttl;
+  packet.push(fwd);
+  routes_.touch(hdr.dest, now() + cfg_.active_route_timeout);
+  routes_.touch(hdr.origin, now() + cfg_.active_route_timeout);
+  routes_.touch(src, now() + cfg_.active_route_timeout);
+  routes_.touch(r->next_hop, now() + cfg_.active_route_timeout);
+  ++counters_.data_forwarded;
+  mac_.enqueue(std::move(packet), r->next_hop);
+}
+
+// --------------------------------------------------------------------------
+// Failure handling
+// --------------------------------------------------------------------------
+
+void AodvAgent::on_mac_tx_failed(net::Address next_hop, net::Packet packet) {
+  ++counters_.link_breaks;
+  handle_link_break(next_hop);
+
+  // Salvage: packets we originated can re-enter the send path (which
+  // re-discovers); transit packets are lost here.
+  if (packet.top_is<DataHeader>()) {
+    DataHeader hdr = packet.pop<DataHeader>();
+    if (hdr.origin == self_) {
+      --counters_.data_originated;  // send() will count it again
+      send(std::move(packet), hdr.dest);
+    } else {
+      ++counters_.data_dropped_link_break;
+    }
+  } else if (packet.top_is<RrepHeader>()) {
+    ++counters_.rrep_dropped;
+  }
+}
+
+void AodvAgent::on_neighbor_lost(net::Address neighbor) {
+  handle_link_break(neighbor);
+}
+
+void AodvAgent::handle_link_break(net::Address next_hop) {
+  std::vector<net::Address> affected = routes_.dests_via(next_hop, now());
+  if (routes_.lookup(next_hop, now()) != nullptr) affected.push_back(next_hop);
+
+  std::vector<net::Address> dests;
+  std::vector<std::uint32_t> seqnos;
+  for (net::Address d : affected) {
+    if (auto inv = routes_.invalidate(d, now()); inv.has_value()) {
+      dests.push_back(d);
+      seqnos.push_back(inv->dest_seqno);
+    }
+  }
+  if (!dests.empty()) send_rerr(dests, seqnos);
+}
+
+void AodvAgent::send_rerr(const std::vector<net::Address>& dests,
+                          const std::vector<std::uint32_t>& seqnos) {
+  assert(dests.size() == seqnos.size());
+  std::size_t i = 0;
+  while (i < dests.size()) {
+    RerrHeader hdr;
+    hdr.count = 0;
+    while (i < dests.size() && hdr.count < RerrHeader::kMaxUnreachable) {
+      hdr.unreachable[hdr.count] = dests[i];
+      hdr.seqno[hdr.count] = seqnos[i];
+      ++hdr.count;
+      ++i;
+    }
+    ++counters_.rerr_sent;
+    net::Packet pkt = factory_.make(0, now());
+    pkt.push(hdr);
+    mac_.enqueue(std::move(pkt), net::Address::broadcast());
+  }
+}
+
+void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
+  RerrHeader hdr = packet.pop<RerrHeader>();
+  ++counters_.rerr_received;
+  neighbors_.refresh(src);
+
+  std::vector<net::Address> propagate;
+  std::vector<std::uint32_t> seqnos;
+  for (std::uint8_t i = 0; i < hdr.count; ++i) {
+    const net::Address d = hdr.unreachable[i];
+    RouteEntry* e = routes_.find(d);
+    if (e == nullptr || e->state != RouteState::kValid || e->next_hop != src) {
+      continue;
+    }
+    auto inv = routes_.invalidate(d, now());
+    if (!inv.has_value()) continue;
+    // Adopt the (possibly newer) unreachable seqno from the RERR.
+    if (RouteEntry* dead = routes_.find(d);
+        dead != nullptr && hdr.seqno[i] > dead->dest_seqno) {
+      dead->dest_seqno = hdr.seqno[i];
+      dead->valid_seqno = true;
+    }
+    propagate.push_back(d);
+    seqnos.push_back(std::max(inv->dest_seqno, hdr.seqno[i]));
+  }
+  if (!propagate.empty()) send_rerr(propagate, seqnos);
+}
+
+// --------------------------------------------------------------------------
+// Periodic machinery
+// --------------------------------------------------------------------------
+
+void AodvAgent::send_hello() {
+  ++counters_.hello_sent;
+  HelloHeader hdr;
+  hdr.origin = self_;
+  hdr.seqno = ++hello_seqno_;
+  hdr.degree = static_cast<std::uint16_t>(
+      std::min<std::size_t>(neighbors_.count(), 0xFFFF));
+
+  net::Packet pkt = factory_.make(0, now());
+  if (cfg_.hello_carries_load) pkt.push(LoadTlv{load_->load_index()});
+  pkt.push(hdr);
+  mac_.enqueue(std::move(pkt), net::Address::broadcast());
+
+  // +-25% jitter keeps the mesh from beaconing in lockstep.
+  hello_timer_ = sim_.schedule(
+      cfg_.hello_interval.scaled(rng_.uniform(0.75, 1.25)),
+      [this] { send_hello(); });
+}
+
+void AodvAgent::handle_hello(net::Packet packet, net::Address src) {
+  HelloHeader hdr = packet.pop<HelloHeader>();
+  double load = 0.0;
+  if (cfg_.hello_carries_load) load = packet.pop<LoadTlv>().load;
+  neighbors_.heard(hdr.origin, hdr.seqno, load, hdr.degree);
+  upsert_neighbor_route(src);
+}
+
+void AodvAgent::housekeeping() {
+  routes_.purge(now(), cfg_.dead_route_retention);
+
+  // Expired RREQ records.
+  for (auto it = rreq_cache_.begin(); it != rreq_cache_.end();) {
+    const RreqRecord& rec = it->second;
+    const bool timers_live =
+        sim_.pending(rec.assess_timer) || sim_.pending(rec.reply_timer);
+    if (!timers_live && rec.first_seen + cfg_.rreq_cache_timeout <= now()) {
+      it = rreq_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Stale buffered packets.
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    auto& q = it->second;
+    while (!q.empty() && q.front().enqueued + cfg_.buffer_timeout <= now()) {
+      q.pop_front();
+      ++counters_.data_dropped_buffer;
+    }
+    it = q.empty() ? buffers_.erase(it) : std::next(it);
+  }
+
+  housekeeping_timer_ =
+      sim_.schedule(cfg_.housekeeping_interval, [this] { housekeeping(); });
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+void AodvAgent::on_mac_receive(net::Packet packet, net::Address src) {
+  if (packet.top_is<RreqHeader>()) {
+    handle_rreq(std::move(packet), src);
+  } else if (packet.top_is<RrepHeader>()) {
+    handle_rrep(std::move(packet), src);
+  } else if (packet.top_is<RerrHeader>()) {
+    handle_rerr(std::move(packet), src);
+  } else if (packet.top_is<HelloHeader>()) {
+    handle_hello(std::move(packet), src);
+  } else if (packet.top_is<DataHeader>()) {
+    handle_data(std::move(packet), src);
+  }
+  // Unknown top header: silently ignored (future protocol versions).
+}
+
+}  // namespace wmn::routing

@@ -1,0 +1,251 @@
+// AODV routing engine (RFC 3561 message economy) with pluggable
+// rebroadcast and route-selection policies.
+//
+// One AodvAgent per node, layered on DcfMac. The engine implements:
+//   * on-demand route discovery (RREQ broadcast / RREP unicast),
+//     destination sequence numbers, RREQ-id duplicate cache;
+//   * data forwarding with TTL, packet buffering during discovery,
+//     bounded discovery retries with binary-exponential RREP wait;
+//   * link-failure handling from two triggers (MAC retry exhaustion
+//     and HELLO loss), RERR propagation, route invalidation;
+//   * periodic HELLO beacons maintaining the neighbour table — and,
+//     when configured, advertising the node's cross-layer load index
+//     (the CLNLR neighbourhood dissemination mechanism);
+//   * optional accumulated path metric in RREQs (LoadTlv), feeding
+//     metric-based route selection.
+//
+// Every protocol in the evaluation (AODV-BF, AODV-GOSSIP, AODV-CB,
+// CLNLR and its ablations) is this engine with different policy and
+// config wiring — so control-packet overhead comparisons are strictly
+// like-for-like.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "mac/dcf_mac.hpp"
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "routing/load_source.hpp"
+#include "routing/messages.hpp"
+#include "routing/neighbor_table.hpp"
+#include "routing/rebroadcast_policy.hpp"
+#include "routing/route_selection.hpp"
+#include "routing/route_table.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace wmn::routing {
+
+struct AodvConfig {
+  sim::Time hello_interval = sim::Time::seconds(1.0);
+  std::uint32_t allowed_hello_loss = 2;
+  sim::Time active_route_timeout = sim::Time::seconds(6.0);
+  sim::Time rreq_cache_timeout = sim::Time::seconds(5.0);
+  std::uint32_t rreq_retries = 2;  // network-wide attempts = retries + 1
+  sim::Time net_traversal_time = sim::Time::seconds(1.0);
+  std::uint8_t rreq_ttl = 30;
+
+  // Expanding-ring search (RFC 3561 section 6.4): probe with growing
+  // TTL rings before going network-wide. Off by default — the source
+  // papers' overhead comparisons are against network-wide discovery.
+  bool expanding_ring = false;
+  std::uint8_t ers_ttl_start = 5;
+  std::uint8_t ers_ttl_increment = 2;
+  std::uint8_t ers_ttl_threshold = 7;  // last ring before full TTL
+
+  std::uint8_t data_ttl = 64;
+  std::size_t buffer_capacity = 64;       // per-destination
+  sim::Time buffer_timeout = sim::Time::seconds(8.0);
+  sim::Time housekeeping_interval = sim::Time::seconds(1.0);
+  sim::Time dead_route_retention = sim::Time::seconds(10.0);
+
+  // CLNLR switches.
+  bool use_load_metric = false;     // RREQs accumulate neighbourhood load
+  bool hello_carries_load = false;  // HELLOs advertise node load
+  double nbhd_self_weight = 0.5;    // own weight in neighbourhood load
+};
+
+class AodvAgent {
+ public:
+  // Data packet that reached its destination (us): handed to the
+  // application with its network-layer origin.
+  using DeliverCallback = std::function<void(net::Packet, net::Address origin)>;
+
+  AodvAgent(sim::Simulator& simulator, const AodvConfig& cfg, net::Address self,
+            mac::DcfMac& mac, net::PacketFactory& factory,
+            std::unique_ptr<RebroadcastPolicy> rebroadcast,
+            std::unique_ptr<RouteSelectionPolicy> selection,
+            std::unique_ptr<LoadSource> load);
+  ~AodvAgent();
+
+  AodvAgent(const AodvAgent&) = delete;
+  AodvAgent& operator=(const AodvAgent&) = delete;
+
+  void set_deliver_callback(DeliverCallback cb) { deliver_cb_ = std::move(cb); }
+
+  // Application entry point: route (discovering if needed) and send.
+  void send(net::Packet packet, net::Address dest);
+
+  [[nodiscard]] net::Address address() const { return self_; }
+
+  // Neighbourhood load index: weighted blend of own load and the mean
+  // advertised load of 1-hop neighbours. The quantity CLNLR routes on.
+  [[nodiscard]] double neighbourhood_load() const;
+
+  [[nodiscard]] double own_load() const { return load_->load_index(); }
+  [[nodiscard]] const NeighborTable& neighbors() const { return neighbors_; }
+  [[nodiscard]] RouteTable& routes() { return routes_; }
+  [[nodiscard]] const AodvConfig& config() const { return cfg_; }
+  [[nodiscard]] std::string policy_name() const { return rebroadcast_->name(); }
+
+  struct Counters {
+    // Control plane.
+    std::uint64_t rreq_originated = 0;   // discovery attempts we started
+    std::uint64_t rreq_forwarded = 0;    // rebroadcasts we performed
+    std::uint64_t rreq_received = 0;     // first copies processed
+    std::uint64_t rreq_duplicates = 0;
+    std::uint64_t rreq_suppressed = 0;   // policy said drop
+    std::uint64_t rrep_originated = 0;
+    std::uint64_t rrep_intermediate = 0; // cached-route replies
+    std::uint64_t rrep_forwarded = 0;
+    std::uint64_t rrep_dropped = 0;      // no reverse route
+    std::uint64_t rerr_sent = 0;
+    std::uint64_t rerr_received = 0;
+    std::uint64_t hello_sent = 0;
+    // Discovery outcomes.
+    std::uint64_t discovery_started = 0;  // distinct (dest) discoveries
+    std::uint64_t discovery_succeeded = 0;
+    std::uint64_t discovery_failed = 0;
+    // Data plane.
+    std::uint64_t data_originated = 0;
+    std::uint64_t data_forwarded = 0;
+    std::uint64_t data_delivered = 0;
+    std::uint64_t data_dropped_no_route = 0;
+    std::uint64_t data_dropped_ttl = 0;
+    std::uint64_t data_dropped_link_break = 0;
+    std::uint64_t data_dropped_buffer = 0;  // buffer overflow/timeout
+    std::uint64_t link_breaks = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct RreqKey {
+    std::uint64_t v;
+    bool operator==(const RreqKey&) const = default;
+  };
+  struct RreqKeyHash {
+    std::size_t operator()(const RreqKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.v);
+    }
+  };
+  static RreqKey make_key(net::Address origin, std::uint32_t id) {
+    return RreqKey{(static_cast<std::uint64_t>(origin.value()) << 32) | id};
+  }
+
+  // Per-RREQ bookkeeping: duplicate counting, deferred forwarding
+  // (counter policy), and destination-side copy collection.
+  struct RreqRecord {
+    sim::Time first_seen{};
+    std::uint32_t copies = 1;
+    bool forward_decided = false;
+    // Deferred forward (kDefer) state.
+    std::optional<RreqHeader> pending_forward;
+    double pending_path_load = 0.0;
+    sim::EventId assess_timer{};
+    // Destination-side selection state.
+    bool replied = false;
+    std::optional<RouteCandidate> best;
+    net::Address best_prev_hop;  // where the best copy came from
+    sim::EventId reply_timer{};
+  };
+
+  struct Discovery {
+    std::uint32_t attempts = 0;
+    sim::EventId timer{};
+  };
+
+  struct BufferedPacket {
+    net::Packet packet;
+    sim::Time enqueued{};
+  };
+
+  // --- RX dispatch -----------------------------------------------------
+  void on_mac_receive(net::Packet packet, net::Address src);
+  void handle_rreq(net::Packet packet, net::Address src);
+  void handle_rrep(net::Packet packet, net::Address src);
+  void handle_rerr(net::Packet packet, net::Address src);
+  void handle_hello(net::Packet packet, net::Address src);
+  void handle_data(net::Packet packet, net::Address src);
+
+  // --- discovery --------------------------------------------------------
+  void start_discovery(net::Address dest);
+  void send_rreq(net::Address dest, std::uint32_t attempt);
+  // TTL for the given attempt index (ring sequence, then network-wide),
+  // or nullopt when the attempt budget is exhausted.
+  [[nodiscard]] std::optional<std::uint8_t> ttl_for_attempt(
+      std::uint32_t attempt) const;
+  void on_discovery_timeout(net::Address dest);
+  void forward_rreq(const RreqHeader& hdr, double path_load);
+  void send_rrep_as_destination(const RreqHeader& hdr, const RouteCandidate& cand);
+  void send_rrep_from_cache(const RreqHeader& hdr, const RouteEntry& route);
+  void finish_defer(RreqKey key);
+  void destination_reply_due(RreqKey key);
+
+  // --- routes -----------------------------------------------------------
+  // Update the route to `dest` from evidence (seqno, candidate, via).
+  // Returns true if the table changed.
+  bool update_route(net::Address dest, net::Address via, std::uint32_t seqno,
+                    bool seqno_valid, const RouteCandidate& cand,
+                    sim::Time lifetime);
+  void upsert_neighbor_route(net::Address neighbor);
+  void flush_buffer(net::Address dest);
+  void drop_buffer(net::Address dest, const char* reason);
+
+  // --- failures -----------------------------------------------------------
+  void on_mac_tx_failed(net::Address next_hop, net::Packet packet);
+  void on_neighbor_lost(net::Address neighbor);
+  void handle_link_break(net::Address next_hop);
+  void send_rerr(const std::vector<net::Address>& dests,
+                 const std::vector<std::uint32_t>& seqnos);
+
+  // --- periodic -----------------------------------------------------------
+  void send_hello();
+  void housekeeping();
+
+  [[nodiscard]] sim::Time now() const { return sim_.now(); }
+
+  sim::Simulator& sim_;
+  AodvConfig cfg_;
+  net::Address self_;
+  mac::DcfMac& mac_;
+  net::PacketFactory& factory_;
+  std::unique_ptr<RebroadcastPolicy> rebroadcast_;
+  std::unique_ptr<RouteSelectionPolicy> selection_;
+  std::unique_ptr<LoadSource> load_;
+  sim::RngStream rng_;
+
+  RouteTable routes_;
+  NeighborTable neighbors_;
+  DeliverCallback deliver_cb_;
+
+  std::uint32_t seqno_ = 0;
+  std::uint32_t rreq_id_ = 0;
+  std::uint32_t hello_seqno_ = 0;
+
+  std::unordered_map<RreqKey, RreqRecord, RreqKeyHash> rreq_cache_;
+  std::unordered_map<net::Address, Discovery> discoveries_;
+  std::unordered_map<net::Address, std::deque<BufferedPacket>> buffers_;
+
+  sim::EventId hello_timer_{};
+  sim::EventId housekeeping_timer_{};
+
+  Counters counters_;
+};
+
+}  // namespace wmn::routing

@@ -1,0 +1,24 @@
+// Cross-layer load access for the routing plane.
+//
+// The AODV engine consults a LoadSource for the node's scalar load
+// index: what HELLOs advertise and what RREQ forwarding accumulates.
+// Baselines wire in ZeroLoadSource (load plays no role); CLNLR wires in
+// core::NodeLoadIndex, which blends the MAC/PHY instruments.
+#pragma once
+
+namespace wmn::routing {
+
+class LoadSource {
+ public:
+  virtual ~LoadSource() = default;
+
+  // Node load index in [0, 1].
+  [[nodiscard]] virtual double load_index() const = 0;
+};
+
+class ZeroLoadSource final : public LoadSource {
+ public:
+  [[nodiscard]] double load_index() const override { return 0.0; }
+};
+
+}  // namespace wmn::routing

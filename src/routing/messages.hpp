@@ -1,0 +1,87 @@
+// Wire formats for the routing control plane (AODV family, RFC 3561
+// message economy) and the network-layer data header.
+//
+// Byte sizes follow the RFC message layouts; the CLNLR load extension
+// travels as a separate 8-byte TLV pushed under the RREQ/HELLO header,
+// so baseline protocols are billed the unextended sizes and CLNLR
+// honestly pays for its extra field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/address.hpp"
+
+namespace wmn::routing {
+
+// Network-layer header on every data packet (IP-like: 20 bytes).
+struct DataHeader {
+  static constexpr std::uint32_t kWireSize = 20;
+
+  net::Address origin;
+  net::Address dest;
+  std::uint8_t ttl = 64;
+};
+
+// Route request (RFC 3561 section 5.1: 24 bytes).
+struct RreqHeader {
+  static constexpr std::uint32_t kWireSize = 24;
+
+  std::uint32_t rreq_id = 0;
+  net::Address origin;
+  std::uint32_t origin_seqno = 0;
+  net::Address dest;
+  std::uint32_t dest_seqno = 0;
+  bool unknown_dest_seqno = true;
+  std::uint8_t hop_count = 0;
+  std::uint8_t ttl = 0;
+};
+
+// Route reply (RFC 3561 section 5.2: 20 bytes). `metric` mirrors the
+// chosen RREQ's accumulated path metric so forward routes installed by
+// intermediate nodes carry it; for baselines it equals the hop count.
+struct RrepHeader {
+  static constexpr std::uint32_t kWireSize = 20;
+
+  net::Address dest;
+  std::uint32_t dest_seqno = 0;
+  net::Address origin;
+  std::uint8_t hop_count = 0;
+  double metric = 0.0;
+  std::uint32_t lifetime_ms = 0;
+};
+
+// Route error. Real RERRs are 4 + 8n bytes; we carry up to
+// kMaxUnreachable destinations and bill the single-destination common
+// case (12 bytes) — RERRs are a rounding error in the overhead budget
+// next to RREQ storms, which is what the experiments measure.
+struct RerrHeader {
+  static constexpr std::uint32_t kWireSize = 12;
+  static constexpr std::size_t kMaxUnreachable = 5;
+
+  std::array<net::Address, kMaxUnreachable> unreachable{};
+  std::array<std::uint32_t, kMaxUnreachable> seqno{};
+  std::uint8_t count = 0;
+};
+
+// HELLO beacon. AODV encodes hellos as TTL-1 RREPs (20 bytes); ours is
+// an explicit type of the same size carrying the neighbour degree used
+// by density-aware policies.
+struct HelloHeader {
+  static constexpr std::uint32_t kWireSize = 20;
+
+  net::Address origin;
+  std::uint32_t seqno = 0;
+  std::uint16_t degree = 0;  // sender's current neighbour count
+};
+
+// CLNLR cross-layer load extension: one float field plus TLV framing.
+// Pushed beneath RREQ headers (accumulated path load) and HELLO headers
+// (sender's node load index).
+struct LoadTlv {
+  static constexpr std::uint32_t kWireSize = 8;
+
+  double load = 0.0;
+};
+
+}  // namespace wmn::routing

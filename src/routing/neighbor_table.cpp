@@ -1,0 +1,68 @@
+#include "routing/neighbor_table.hpp"
+
+namespace wmn::routing {
+
+NeighborTable::NeighborTable(sim::Simulator& simulator, sim::Time hello_interval,
+                             std::uint32_t allowed_loss)
+    : sim_(simulator),
+      lifetime_(hello_interval * static_cast<std::int64_t>(allowed_loss) +
+                hello_interval / 2) {
+  // Sweep at half the lifetime: detection latency is bounded by
+  // lifetime * 1.5 while keeping the timer cheap.
+  sweep_timer_ = sim_.schedule(lifetime_ / 2, [this] { sweep(); });
+}
+
+NeighborTable::~NeighborTable() { sim_.cancel(sweep_timer_); }
+
+void NeighborTable::heard(net::Address addr, std::uint32_t seqno,
+                          double load_index, std::uint16_t degree) {
+  NeighborInfo& n = neighbors_[addr];
+  n.addr = addr;
+  n.last_heard = sim_.now();
+  n.last_seqno = seqno;
+  n.load_index = load_index;
+  n.degree = degree;
+}
+
+void NeighborTable::refresh(net::Address addr) {
+  auto it = neighbors_.find(addr);
+  if (it != neighbors_.end()) it->second.last_heard = sim_.now();
+}
+
+const NeighborInfo* NeighborTable::info(net::Address addr) const {
+  auto it = neighbors_.find(addr);
+  return it == neighbors_.end() ? nullptr : &it->second;
+}
+
+std::vector<NeighborInfo> NeighborTable::snapshot() const {
+  std::vector<NeighborInfo> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [addr, info] : neighbors_) out.push_back(info);
+  return out;
+}
+
+double NeighborTable::mean_neighbor_load() const {
+  if (neighbors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [addr, info] : neighbors_) sum += info.load_index;
+  return sum / static_cast<double>(neighbors_.size());
+}
+
+void NeighborTable::sweep() {
+  const sim::Time now = sim_.now();
+  std::vector<net::Address> lost;
+  for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+    if (it->second.last_heard + lifetime_ <= now) {
+      lost.push_back(it->first);
+      it = neighbors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (net::Address a : lost) {
+    if (loss_cb_) loss_cb_(a);
+  }
+  sweep_timer_ = sim_.schedule(lifetime_ / 2, [this] { sweep(); });
+}
+
+}  // namespace wmn::routing

@@ -1,0 +1,72 @@
+// 1-hop neighbour table, fed by HELLO beacons.
+//
+// Besides liveness (a neighbour silent for `allowed_loss` hello
+// intervals is declared gone, triggering link-break handling), the
+// table stores each neighbour's advertised load index and degree — the
+// inputs to CLNLR's neighbourhood load computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace wmn::routing {
+
+struct NeighborInfo {
+  net::Address addr;
+  sim::Time last_heard{};
+  std::uint32_t last_seqno = 0;
+  double load_index = 0.0;  // sender's advertised cross-layer load
+  std::uint16_t degree = 0; // sender's advertised neighbour count
+};
+
+class NeighborTable {
+ public:
+  using LossCallback = std::function<void(net::Address)>;
+
+  NeighborTable(sim::Simulator& simulator, sim::Time hello_interval,
+                std::uint32_t allowed_loss);
+  ~NeighborTable();
+
+  NeighborTable(const NeighborTable&) = delete;
+  NeighborTable& operator=(const NeighborTable&) = delete;
+
+  // Record a heard HELLO (or any frame proving the neighbour alive).
+  void heard(net::Address addr, std::uint32_t seqno, double load_index,
+             std::uint16_t degree);
+
+  // Refresh liveness only (e.g. data frame overheard from neighbour).
+  void refresh(net::Address addr);
+
+  [[nodiscard]] bool contains(net::Address addr) const {
+    return neighbors_.contains(addr);
+  }
+
+  [[nodiscard]] std::size_t count() const { return neighbors_.size(); }
+
+  [[nodiscard]] const NeighborInfo* info(net::Address addr) const;
+
+  [[nodiscard]] std::vector<NeighborInfo> snapshot() const;
+
+  // Mean advertised load of current neighbours (0 when alone).
+  [[nodiscard]] double mean_neighbor_load() const;
+
+  // Called when a neighbour expires from the table.
+  void set_loss_callback(LossCallback cb) { loss_cb_ = std::move(cb); }
+
+ private:
+  void sweep();
+
+  sim::Simulator& sim_;
+  sim::Time lifetime_;
+  std::unordered_map<net::Address, NeighborInfo> neighbors_;
+  LossCallback loss_cb_;
+  sim::EventId sweep_timer_{};
+};
+
+}  // namespace wmn::routing

@@ -1,0 +1,71 @@
+#include "routing/rebroadcast_policy.hpp"
+
+#include <algorithm>
+
+namespace wmn::routing {
+
+bool RebroadcastPolicy::assess(const RebroadcastContext&, sim::RngStream&) {
+  // Policies that never defer never get asked.
+  return true;
+}
+
+RebroadcastDecision FloodPolicy::decide(const RebroadcastContext&,
+                                        sim::RngStream& rng) {
+  return {RebroadcastAction::kForward,
+          sim::Time::nanos(static_cast<std::int64_t>(
+              rng.uniform01() * static_cast<double>(max_jitter_.ns())))};
+}
+
+RebroadcastDecision GossipPolicy::decide(const RebroadcastContext& ctx,
+                                         sim::RngStream& rng) {
+  const sim::Time jitter = sim::Time::nanos(static_cast<std::int64_t>(
+      rng.uniform01() * static_cast<double>(max_jitter_.ns())));
+  if (ctx.hop_count < k_ || rng.bernoulli(p_)) {
+    return {RebroadcastAction::kForward, jitter};
+  }
+  return {RebroadcastAction::kDrop, {}};
+}
+
+std::string GossipPolicy::name() const {
+  return "gossip(p=" + std::to_string(p_).substr(0, 4) + ")";
+}
+
+double DensityGossipPolicy::forward_probability(std::size_t degree) const {
+  if (degree == 0) return 1.0;
+  const double p = p_base_ * degree_ref_ / static_cast<double>(degree);
+  return std::clamp(p, p_min_, 1.0);
+}
+
+RebroadcastDecision DensityGossipPolicy::decide(const RebroadcastContext& ctx,
+                                                sim::RngStream& rng) {
+  const sim::Time jitter = sim::Time::nanos(static_cast<std::int64_t>(
+      rng.uniform01() * static_cast<double>(max_jitter_.ns())));
+  if (ctx.hop_count < k_ ||
+      rng.bernoulli(forward_probability(ctx.neighbor_count))) {
+    return {RebroadcastAction::kForward, jitter};
+  }
+  return {RebroadcastAction::kDrop, {}};
+}
+
+std::string DensityGossipPolicy::name() const {
+  return "density-gossip(p=" + std::to_string(p_base_).substr(0, 4) + ")";
+}
+
+RebroadcastDecision CounterPolicy::decide(const RebroadcastContext&,
+                                          sim::RngStream& rng) {
+  return {RebroadcastAction::kDefer,
+          sim::Time::nanos(static_cast<std::int64_t>(
+              rng.uniform01() * static_cast<double>(max_rad_.ns())))};
+}
+
+bool CounterPolicy::assess(const RebroadcastContext& ctx, sim::RngStream&) {
+  // duplicates_seen counts copies *beyond the first*; the classic
+  // counter compares total copies heard against the threshold.
+  return ctx.duplicates_seen + 1 < threshold_;
+}
+
+std::string CounterPolicy::name() const {
+  return "counter(c=" + std::to_string(threshold_) + ")";
+}
+
+}  // namespace wmn::routing

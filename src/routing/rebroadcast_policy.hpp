@@ -1,0 +1,140 @@
+// RREQ rebroadcast policies — the broadcast-storm mitigation knob.
+//
+// The AODV engine asks the policy what to do with the *first* copy of
+// each RREQ it would otherwise rebroadcast:
+//   kForward — rebroadcast after `delay` (jitter decorrelates
+//              neighbours that would otherwise collide);
+//   kDrop    — suppress;
+//   kDefer   — wait `delay` while the engine counts duplicate copies,
+//              then ask `assess()` (counter-based schemes).
+//
+// Policies see a cross-layer context snapshot; baselines ignore the
+// load fields, CLNLR (src/core) is built on them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace wmn::routing {
+
+struct RebroadcastContext {
+  std::uint8_t hop_count = 0;        // hops the RREQ has travelled
+  std::size_t neighbor_count = 0;    // our current 1-hop degree
+  double own_load = 0.0;             // our node load index, [0,1]
+  double neighbourhood_load = 0.0;   // neighbourhood load index, [0,1]
+  std::uint32_t duplicates_seen = 0; // copies of this RREQ so far
+};
+
+enum class RebroadcastAction : std::uint8_t { kForward, kDrop, kDefer };
+
+struct RebroadcastDecision {
+  RebroadcastAction action = RebroadcastAction::kForward;
+  sim::Time delay{};
+};
+
+class RebroadcastPolicy {
+ public:
+  virtual ~RebroadcastPolicy() = default;
+
+  // Decision for the first copy of a RREQ.
+  virtual RebroadcastDecision decide(const RebroadcastContext& ctx,
+                                     sim::RngStream& rng) = 0;
+
+  // For kDefer decisions: final verdict once the defer window closed
+  // (ctx.duplicates_seen now includes copies heard during the window).
+  virtual bool assess(const RebroadcastContext& ctx, sim::RngStream& rng);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Blind flooding (classic AODV): forward every first copy, with a small
+// uniform jitter to break neighbour synchronization.
+class FloodPolicy final : public RebroadcastPolicy {
+ public:
+  explicit FloodPolicy(sim::Time max_jitter = sim::Time::millis(10.0))
+      : max_jitter_(max_jitter) {}
+
+  RebroadcastDecision decide(const RebroadcastContext& ctx,
+                             sim::RngStream& rng) override;
+  [[nodiscard]] std::string name() const override { return "flood"; }
+
+ private:
+  sim::Time max_jitter_;
+};
+
+// GOSSIP1(p, k) (Haas, Halpern, Li): forward with fixed probability p,
+// except within the first k hops where p = 1 (protects discovery
+// take-off near the origin).
+class GossipPolicy final : public RebroadcastPolicy {
+ public:
+  GossipPolicy(double p, std::uint8_t always_forward_hops = 1,
+               sim::Time max_jitter = sim::Time::millis(10.0))
+      : p_(p), k_(always_forward_hops), max_jitter_(max_jitter) {}
+
+  RebroadcastDecision decide(const RebroadcastContext& ctx,
+                             sim::RngStream& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double p() const { return p_; }
+
+ private:
+  double p_;
+  std::uint8_t k_;
+  sim::Time max_jitter_;
+};
+
+// Density-adjusted probabilistic gossip (Bani-Yassein et al.'s
+// "adjusted probabilistic" scheme): p is inversely scaled by local
+// degree, p = clamp(p_base * deg_ref / degree, p_min, 1). Sparse nodes
+// flood; dense ones throttle proportionally — density awareness without
+// any cross-layer signal (the natural stepping stone toward CLNLR).
+class DensityGossipPolicy final : public RebroadcastPolicy {
+ public:
+  DensityGossipPolicy(double p_base = 0.65, double degree_ref = 8.0,
+                      double p_min = 0.25,
+                      std::uint8_t always_forward_hops = 1,
+                      sim::Time max_jitter = sim::Time::millis(10.0))
+      : p_base_(p_base),
+        degree_ref_(degree_ref),
+        p_min_(p_min),
+        k_(always_forward_hops),
+        max_jitter_(max_jitter) {}
+
+  RebroadcastDecision decide(const RebroadcastContext& ctx,
+                             sim::RngStream& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double forward_probability(std::size_t degree) const;
+
+ private:
+  double p_base_;
+  double degree_ref_;
+  double p_min_;
+  std::uint8_t k_;
+  sim::Time max_jitter_;
+};
+
+// Counter-based suppression (Tseng et al.; the Bani-Yassein/Al-Dubai
+// baseline family): defer for a random assessment delay (RAD); forward
+// only if fewer than `threshold` duplicate copies were heard meanwhile.
+class CounterPolicy final : public RebroadcastPolicy {
+ public:
+  CounterPolicy(std::uint32_t threshold = 3,
+                sim::Time max_rad = sim::Time::millis(10.0))
+      : threshold_(threshold), max_rad_(max_rad) {}
+
+  RebroadcastDecision decide(const RebroadcastContext& ctx,
+                             sim::RngStream& rng) override;
+  bool assess(const RebroadcastContext& ctx, sim::RngStream& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::uint32_t threshold_;
+  sim::Time max_rad_;
+};
+
+}  // namespace wmn::routing

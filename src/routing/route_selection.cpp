@@ -1,0 +1,31 @@
+#include "routing/route_selection.hpp"
+
+namespace wmn::routing {
+
+bool RouteSelectionPolicy::should_replace(const RouteCandidate& incumbent,
+                                          const RouteCandidate& candidate) const {
+  return better(candidate, incumbent);
+}
+
+bool FirstArrivalSelection::better(const RouteCandidate& a,
+                                   const RouteCandidate& b) const {
+  return a.hop_count < b.hop_count;
+}
+
+bool BestMetricSelection::better(const RouteCandidate& a,
+                                 const RouteCandidate& b) const {
+  if (a.metric != b.metric) return a.metric < b.metric;
+  return a.hop_count < b.hop_count;
+}
+
+bool BestMetricSelection::should_replace(const RouteCandidate& incumbent,
+                                         const RouteCandidate& candidate) const {
+  // Same-seqno replacement needs a clear win, not a marginal one;
+  // without hysteresis routes flap between near-equal alternatives.
+  if (candidate.metric < incumbent.metric * (1.0 - hysteresis_)) return true;
+  // Always accept strictly shorter equal-load paths.
+  return candidate.metric <= incumbent.metric &&
+         candidate.hop_count < incumbent.hop_count;
+}
+
+}  // namespace wmn::routing

@@ -1,0 +1,82 @@
+// Route-selection policies: which RREQ copy does the destination
+// answer, and when may intermediate nodes answer from cache?
+//
+// FirstArrival reproduces stock AODV (reply to the first copy; hop
+// count is implicitly minimized because the first arrival usually took
+// the shortest path). BestMetric holds a short collection window after
+// the first copy and replies to the copy with the smallest accumulated
+// path metric — the mechanism CLNLR's load-aware selection rides on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace wmn::routing {
+
+// A candidate route offer, as seen in an arriving RREQ copy.
+struct RouteCandidate {
+  double metric = 0.0;       // accumulated path metric (load or hops)
+  std::uint8_t hop_count = 0;
+};
+
+class RouteSelectionPolicy {
+ public:
+  virtual ~RouteSelectionPolicy() = default;
+
+  // Strict "candidate a beats candidate b".
+  [[nodiscard]] virtual bool better(const RouteCandidate& a,
+                                    const RouteCandidate& b) const = 0;
+
+  // How long the destination collects copies before replying.
+  // Zero = reply to the first copy immediately.
+  [[nodiscard]] virtual sim::Time reply_wait() const = 0;
+
+  // May intermediate nodes with a fresh cached route answer the RREQ?
+  // (Cached hop counts exist; cached load metrics would be stale, so
+  // metric-based selection disables this.)
+  [[nodiscard]] virtual bool allow_intermediate_reply() const = 0;
+
+  // Should an established route be replaced by a same-seqno candidate?
+  // Hysteresis lives here: CLNLR demands a significant improvement.
+  [[nodiscard]] virtual bool should_replace(const RouteCandidate& incumbent,
+                                            const RouteCandidate& candidate) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Stock AODV: first copy wins, intermediate replies allowed.
+class FirstArrivalSelection final : public RouteSelectionPolicy {
+ public:
+  [[nodiscard]] bool better(const RouteCandidate& a,
+                            const RouteCandidate& b) const override;
+  [[nodiscard]] sim::Time reply_wait() const override { return {}; }
+  [[nodiscard]] bool allow_intermediate_reply() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "first-arrival"; }
+};
+
+// Collect copies for `window`, reply to the minimum-metric one
+// (hop count breaks ties); replace routes only on `hysteresis`
+// relative improvement.
+class BestMetricSelection final : public RouteSelectionPolicy {
+ public:
+  explicit BestMetricSelection(sim::Time window = sim::Time::millis(50.0),
+                               double hysteresis = 0.15)
+      : window_(window), hysteresis_(hysteresis) {}
+
+  [[nodiscard]] bool better(const RouteCandidate& a,
+                            const RouteCandidate& b) const override;
+  [[nodiscard]] sim::Time reply_wait() const override { return window_; }
+  [[nodiscard]] bool allow_intermediate_reply() const override { return false; }
+  [[nodiscard]] bool should_replace(const RouteCandidate& incumbent,
+                                    const RouteCandidate& candidate) const override;
+  [[nodiscard]] std::string name() const override { return "best-metric"; }
+
+ private:
+  sim::Time window_;
+  double hysteresis_;
+};
+
+}  // namespace wmn::routing

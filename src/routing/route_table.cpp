@@ -1,0 +1,80 @@
+#include "routing/route_table.hpp"
+
+namespace wmn::routing {
+
+const RouteEntry* RouteTable::lookup(net::Address dest, sim::Time now) {
+  auto it = table_.find(dest);
+  if (it == table_.end()) return nullptr;
+  RouteEntry& e = it->second;
+  if (e.state == RouteState::kValid && e.expires <= now) {
+    e.state = RouteState::kInvalid;
+    // Hold the dead entry for its seqno; purge() reclaims it later.
+    e.expires = now;
+  }
+  return e.state == RouteState::kValid ? &e : nullptr;
+}
+
+RouteEntry* RouteTable::find(net::Address dest) {
+  auto it = table_.find(dest);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+RouteEntry& RouteTable::upsert(const RouteEntry& entry) {
+  return table_[entry.dest] = entry;
+}
+
+void RouteTable::touch(net::Address dest, sim::Time expires) {
+  auto it = table_.find(dest);
+  if (it == table_.end() || it->second.state != RouteState::kValid) return;
+  if (it->second.expires < expires) it->second.expires = expires;
+}
+
+std::optional<RouteEntry> RouteTable::invalidate(net::Address dest,
+                                                 sim::Time now) {
+  auto it = table_.find(dest);
+  if (it == table_.end() || it->second.state != RouteState::kValid) {
+    return std::nullopt;
+  }
+  RouteEntry& e = it->second;
+  e.state = RouteState::kInvalid;
+  // RFC 3561 section 6.11: increment the seqno of an invalidated route.
+  if (e.valid_seqno) ++e.dest_seqno;
+  e.expires = now;
+  return e;
+}
+
+std::vector<net::Address> RouteTable::dests_via(net::Address via, sim::Time now) {
+  std::vector<net::Address> out;
+  for (auto& [dest, e] : table_) {
+    if (e.state == RouteState::kValid && e.expires > now && e.next_hop == via) {
+      out.push_back(dest);
+    }
+  }
+  return out;
+}
+
+void RouteTable::add_precursor(net::Address dest, net::Address precursor) {
+  auto it = table_.find(dest);
+  if (it != table_.end()) it->second.precursors.insert(precursor);
+}
+
+void RouteTable::purge(sim::Time now, sim::Time dead_retention) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    const RouteEntry& e = it->second;
+    const bool expired_valid =
+        e.state == RouteState::kValid && e.expires <= now;
+    if (expired_valid) {
+      it->second.state = RouteState::kInvalid;
+      it->second.expires = now;
+      ++it;
+      continue;
+    }
+    if (e.state == RouteState::kInvalid && e.expires + dead_retention <= now) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace wmn::routing

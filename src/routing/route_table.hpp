@@ -1,0 +1,70 @@
+// AODV routing table: destination-sequenced distance-vector entries
+// with lifetimes, precursor lists, and an optional path metric (used by
+// metric-based route selection; equals hop count for baselines).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace wmn::routing {
+
+enum class RouteState : std::uint8_t { kValid, kInvalid };
+
+struct RouteEntry {
+  net::Address dest;
+  net::Address next_hop;
+  std::uint8_t hop_count = 0;
+  std::uint32_t dest_seqno = 0;
+  bool valid_seqno = false;
+  double metric = 0.0;          // accumulated path metric (CLNLR load)
+  RouteState state = RouteState::kValid;
+  sim::Time expires{};          // entry dies (or goes stale) at this time
+  // Neighbours that route *through us* to `dest`; they get RERRs when
+  // the route breaks.
+  std::unordered_set<net::Address> precursors;
+};
+
+class RouteTable {
+ public:
+  // Valid (non-expired, kValid) entry for dest, if any. `now` drives
+  // lazy expiry: expired entries flip to kInvalid on access.
+  [[nodiscard]] const RouteEntry* lookup(net::Address dest, sim::Time now);
+
+  // Entry regardless of state (e.g. to read the last known seqno).
+  [[nodiscard]] RouteEntry* find(net::Address dest);
+
+  // Insert or overwrite an entry.
+  RouteEntry& upsert(const RouteEntry& entry);
+
+  // Refresh the lifetime of an active route (data traffic keeps routes
+  // alive, per RFC 3561 section 6.2).
+  void touch(net::Address dest, sim::Time expires);
+
+  // Invalidate the route to `dest` (if present), bumping its seqno so
+  // stale information cannot resurrect it. Returns the invalidated
+  // entry, if one existed and was valid.
+  std::optional<RouteEntry> invalidate(net::Address dest, sim::Time now);
+
+  // All valid routes whose next hop is `via` (link-break handling).
+  [[nodiscard]] std::vector<net::Address> dests_via(net::Address via,
+                                                    sim::Time now);
+
+  void add_precursor(net::Address dest, net::Address precursor);
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  // Drop long-dead invalid entries (housekeeping; called by the agent's
+  // periodic timer).
+  void purge(sim::Time now, sim::Time dead_retention);
+
+ private:
+  std::unordered_map<net::Address, RouteEntry> table_;
+};
+
+}  // namespace wmn::routing

@@ -1,0 +1,28 @@
+// Event primitives for the discrete-event calendar.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace wmn::sim {
+
+// Work item executed when simulation time reaches the event's stamp.
+using EventFn = std::function<void()>;
+
+// Opaque handle identifying a scheduled event; usable for cancellation.
+// Id 0 is reserved as "invalid / never scheduled".
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr explicit EventId(std::uint64_t v) : v_(v) {}
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace wmn::sim

@@ -1,0 +1,29 @@
+#include "sim/logging.hpp"
+
+namespace wmn::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel global_log_level() { return g_level; }
+void set_global_log_level(LogLevel level) { g_level = level; }
+
+void Logger::log(LogLevel level, Time now, std::string_view msg) const {
+  if (!enabled(level)) return;
+  std::clog << "[" << level_name(level) << "] t=" << now.str() << " "
+            << component_ << ": " << msg << '\n';
+}
+
+}  // namespace wmn::sim

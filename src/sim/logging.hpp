@@ -1,0 +1,62 @@
+// Minimal leveled logging for simulator components.
+//
+// Logging is off by default (benchmarks and sweeps must not pay for
+// formatting). Components log through a Logger carrying a component tag;
+// the global level is a process-wide switch intended for debugging
+// single runs, not for concurrent sweeps.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace wmn::sim {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+// Process-wide log level (plain global; the simulation kernel is
+// single-threaded and sweeps should leave this at kOff).
+LogLevel global_log_level();
+void set_global_log_level(LogLevel level);
+
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(global_log_level());
+  }
+
+  void log(LogLevel level, Time now, std::string_view msg) const;
+
+  void error(Time now, std::string_view msg) const { log(LogLevel::kError, now, msg); }
+  void warn(Time now, std::string_view msg) const { log(LogLevel::kWarn, now, msg); }
+  void info(Time now, std::string_view msg) const { log(LogLevel::kInfo, now, msg); }
+  void debug(Time now, std::string_view msg) const { log(LogLevel::kDebug, now, msg); }
+
+ private:
+  std::string component_;
+};
+
+// Convenience for building messages only when the level is active:
+//   WMN_LOG_DEBUG(logger, sim.now(), "rreq id=" << id << " ttl=" << ttl);
+#define WMN_LOG_AT(logger, level, now, expr)                      \
+  do {                                                            \
+    if ((logger).enabled(level)) {                                \
+      std::ostringstream wmn_log_oss_;                            \
+      wmn_log_oss_ << expr;                                       \
+      (logger).log((level), (now), wmn_log_oss_.str());           \
+    }                                                             \
+  } while (0)
+
+#define WMN_LOG_DEBUG(logger, now, expr) \
+  WMN_LOG_AT(logger, ::wmn::sim::LogLevel::kDebug, now, expr)
+#define WMN_LOG_INFO(logger, now, expr) \
+  WMN_LOG_AT(logger, ::wmn::sim::LogLevel::kInfo, now, expr)
+#define WMN_LOG_WARN(logger, now, expr) \
+  WMN_LOG_AT(logger, ::wmn::sim::LogLevel::kWarn, now, expr)
+
+}  // namespace wmn::sim

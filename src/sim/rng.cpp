@@ -1,0 +1,95 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+
+namespace wmn::sim {
+
+namespace {
+// Mix the stream id into the master seed so streams are decorrelated
+// even for adjacent ids. Two rounds of splitmix on the concatenation.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  SplitMix64 a(master ^ (stream * 0x9E3779B97F4A7C15ULL));
+  std::uint64_t s = a.next();
+  SplitMix64 b(s + stream);
+  return b.next();
+}
+}  // namespace
+
+RngStream::RngStream(std::uint64_t master_seed, std::uint64_t stream_id)
+    : gen_(derive_seed(master_seed, stream_id)) {}
+
+std::uint64_t RngStream::bits() { return gen_.next(); }
+
+double RngStream::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t RngStream::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return gen_.next();
+  const std::uint64_t n = span + 1;
+  // Rejection sampling over the largest multiple of n below 2^64.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t x = gen_.next();
+  while (x >= limit) x = gen_.next();
+  return lo + (x % n);
+}
+
+std::int64_t RngStream::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  return static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(lo) + uniform_u64(0, span));
+}
+
+bool RngStream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double RngStream::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double RngStream::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * m;
+  has_spare_normal_ = true;
+  return mean + stddev * (u * m);
+}
+
+double RngStream::pareto(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+std::size_t RngStream::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+}  // namespace wmn::sim

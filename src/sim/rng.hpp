@@ -1,0 +1,109 @@
+// Deterministic random-number generation.
+//
+// Reproducibility contract: every stochastic component in the simulator
+// draws from its own RngStream, derived from (master seed, stream id).
+// Two runs with the same master seed and the same component wiring are
+// bit-identical, independent of the order in which components are
+// constructed relative to each other (streams never share state).
+//
+// Core generator: xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend. Both are implemented here so the
+// library has no dependency on platform-varying <random> engine
+// internals (libstdc++ vs libc++ produce different mt19937 streams for
+// the distributions; we need cross-platform identical results).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+namespace wmn::sim {
+
+// SplitMix64: tiny 64-bit generator used only for seeding/stream
+// derivation. Passes through every value exactly once over 2^64.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit generator; period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+// A named random stream with the variate generators the simulator needs.
+class RngStream {
+ public:
+  // Derive a stream from a master seed and a stream id. Different
+  // (seed, id) pairs yield statistically independent streams.
+  RngStream(std::uint64_t master_seed, std::uint64_t stream_id);
+
+  // Raw 64 random bits.
+  std::uint64_t bits();
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive (Lemire-style rejection-free
+  // unbiased mapping is unnecessary at simulation scales; we use the
+  // multiply-shift reduction with rejection for exactness).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Exponential variate with given mean (> 0).
+  double exponential(double mean);
+
+  // Standard normal via Marsaglia polar method; normal(mean, stddev).
+  double normal(double mean, double stddev);
+
+  // Pareto (heavy tail) with shape alpha > 0 and scale xm > 0.
+  double pareto(double shape, double scale);
+
+  // Fisher-Yates shuffle helper index: uniform in [0, n).
+  std::size_t index(std::size_t n);
+
+ private:
+  Xoshiro256 gen_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace wmn::sim

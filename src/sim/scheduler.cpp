@@ -1,0 +1,73 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wmn::sim {
+
+EventId Scheduler::schedule(Time at, EventFn fn) {
+  const std::uint64_t seq = ++next_seq_;  // ids start at 1; 0 = invalid
+  heap_.push_back(Entry{at, seq, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  pending_.insert(seq);
+  return EventId(seq);
+}
+
+void Scheduler::cancel(EventId id) {
+  if (!id.valid()) return;
+  pending_.erase(id.value());
+}
+
+void Scheduler::drop_dead_top() {
+  while (!heap_.empty() && !pending_.contains(heap_[0].seq)) {
+    heap_[0] = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+Time Scheduler::next_time() {
+  drop_dead_top();
+  return heap_.empty() ? Time::max() : heap_[0].at;
+}
+
+Scheduler::Fired Scheduler::pop() {
+  drop_dead_top();
+  assert(!heap_.empty() && "pop() on empty scheduler");
+  Fired out{heap_[0].at, std::move(heap_[0].fn)};
+  pending_.erase(heap_[0].seq);
+  heap_[0] = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void Scheduler::clear() {
+  heap_.clear();
+  pending_.clear();
+}
+
+void Scheduler::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace wmn::sim

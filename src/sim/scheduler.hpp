@@ -1,0 +1,82 @@
+// Binary-heap event calendar.
+//
+// Ordering is (timestamp, insertion sequence): two events scheduled for
+// the same instant execute in the order they were scheduled, which the
+// MAC layer relies on for deterministic slot resolution.
+//
+// Cancellation is lazy: a cancelled entry stays in the heap and is
+// discarded when it reaches the top. cancel() is O(1); the pending-id
+// set makes cancel-after-fire an exact no-op.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace wmn::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Insert an event at absolute time `at`. Returns a cancellable id.
+  EventId schedule(Time at, EventFn fn);
+
+  // Remove a pending event; no-op on fired, cancelled, or invalid ids.
+  void cancel(EventId id);
+
+  // True iff `id` is scheduled and not yet fired or cancelled.
+  [[nodiscard]] bool pending(EventId id) const {
+    return id.valid() && pending_.contains(id.value());
+  }
+
+  // True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  // Timestamp of the next live event; Time::max() when empty.
+  // Compacts cancelled heap tops as a side effect.
+  [[nodiscard]] Time next_time();
+
+  // Remove and return the next live event. Precondition: !empty().
+  struct Fired {
+    Time at;
+    EventFn fn;
+  };
+  Fired pop();
+
+  // Drop everything (used when a run is aborted).
+  void clear();
+
+  // Total events ever scheduled (diagnostics / micro-benchmarks).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // doubles as the EventId payload
+    EventFn fn;
+  };
+
+  // Min-heap predicate on (time, seq).
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wmn::sim

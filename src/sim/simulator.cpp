@@ -1,0 +1,37 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wmn::sim {
+
+EventId Simulator::schedule(Time delay, EventFn fn) {
+  if (delay.is_negative()) delay = Time::zero();
+  return calendar_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  return calendar_.schedule(at, std::move(fn));
+}
+
+void Simulator::run() { run_until(Time::max()); }
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !calendar_.empty()) {
+    const Time t = calendar_.next_time();
+    if (t > deadline) {
+      now_ = deadline;
+      return;
+    }
+    auto fired = calendar_.pop();
+    assert(fired.at >= now_ && "calendar must be monotone");
+    now_ = fired.at;
+    fired.fn();
+    ++events_executed_;
+  }
+  if (!stopped_ && deadline != Time::max() && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace wmn::sim

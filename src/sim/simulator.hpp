@@ -1,0 +1,76 @@
+// The discrete-event simulator: a clock plus an event calendar plus the
+// master RNG seed from which all component streams derive.
+//
+// One Simulator instance = one independent simulation run. The kernel
+// is strictly single-threaded; experiment-level parallelism runs many
+// Simulator instances concurrently (see exp::ParallelRunner), which is
+// safe because instances share no mutable state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace wmn::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t master_seed = 1) : master_seed_(master_seed) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- clock -------------------------------------------------------
+  [[nodiscard]] Time now() const { return now_; }
+
+  // --- scheduling ----------------------------------------------------
+  // Schedule `fn` to run `delay` after the current time. Negative
+  // delays are clamped to zero (run "now", after already-queued
+  // same-time events).
+  EventId schedule(Time delay, EventFn fn);
+
+  // Schedule at an absolute timestamp; must not be in the past.
+  EventId schedule_at(Time at, EventFn fn);
+
+  void cancel(EventId id) { calendar_.cancel(id); }
+  [[nodiscard]] bool pending(EventId id) const { return calendar_.pending(id); }
+
+  // --- execution -----------------------------------------------------
+  // Run until the calendar drains or stop() is called.
+  void run();
+
+  // Run until the clock would pass `deadline`; events at exactly
+  // `deadline` are executed. The clock finishes at
+  // min(deadline, time of last event) unless stopped early.
+  void run_until(Time deadline);
+
+  // Request termination; takes effect before the next event dispatch.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  // --- rng -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+  // Create an independent random stream. Components pass a stable
+  // stream id (e.g. hash of node id + purpose) so wiring order does not
+  // perturb the streams.
+  [[nodiscard]] RngStream make_stream(std::uint64_t stream_id) const {
+    return RngStream(master_seed_, stream_id);
+  }
+
+  // --- diagnostics ----------------------------------------------------
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+  [[nodiscard]] std::size_t events_pending() const { return calendar_.size(); }
+
+ private:
+  Scheduler calendar_;
+  Time now_ = Time::zero();
+  std::uint64_t master_seed_;
+  std::uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace wmn::sim

@@ -1,0 +1,72 @@
+// Simulation time: a strongly-typed wrapper over signed 64-bit
+// nanoseconds. All simulator components exchange Time values; raw
+// integers never cross module boundaries.
+//
+// The representation gives ~292 years of range at nanosecond
+// resolution, which comfortably covers any mesh-network scenario while
+// keeping arithmetic exact (no floating-point drift in the event
+// calendar).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace wmn::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors. nanos() is exact; the rest round to nearest ns.
+  static constexpr Time nanos(std::int64_t ns) { return Time(ns); }
+  static constexpr Time seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Time micros(double us) { return seconds(us * 1e-6); }
+  static constexpr Time millis(double ms) { return seconds(ms * 1e-3); }
+
+  // Sentinel greater than every schedulable time.
+  static constexpr Time max() { return Time(std::numeric_limits<std::int64_t>::max()); }
+  static constexpr Time zero() { return Time(0); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time(a.ns_ * k); }
+
+  // Fractional scaling kept off operator* so `t * 2` stays exact and
+  // unambiguous.
+  [[nodiscard]] constexpr Time scaled(double k) const {
+    return Time::seconds(to_seconds() * k);
+  }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time(a.ns_ / k); }
+
+  // "12.345678s"-style rendering for logs and tables.
+  [[nodiscard]] std::string str() const {
+    return std::to_string(to_seconds()) + "s";
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace wmn::sim

@@ -1,0 +1,36 @@
+#include "stats/confidence.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace wmn::stats {
+
+double t_critical_95(std::size_t df) {
+  // Standard table, df 1..30; beyond that the normal approximation is
+  // within 0.3%.
+  static constexpr std::array<double, 30> kTable{
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= kTable.size()) return kTable[df - 1];
+  return 1.960;
+}
+
+ConfidenceInterval mean_ci_95(std::span<const double> samples) {
+  ConfidenceInterval ci;
+  const std::size_t n = samples.size();
+  if (n == 0) return ci;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  ci.mean = sum / static_cast<double>(n);
+  if (n < 2) return ci;
+  double ss = 0.0;
+  for (double x : samples) ss += (x - ci.mean) * (x - ci.mean);
+  const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+  ci.half_width =
+      t_critical_95(n - 1) * sd / std::sqrt(static_cast<double>(n));
+  return ci;
+}
+
+}  // namespace wmn::stats

@@ -1,0 +1,22 @@
+// Student-t confidence intervals over independent replications.
+#pragma once
+
+#include <span>
+
+namespace wmn::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean ± half_width
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+// Two-sided 95% t critical value for `df` degrees of freedom
+// (df >= 1; large df asymptotes to 1.960).
+[[nodiscard]] double t_critical_95(std::size_t df);
+
+// 95% CI of the mean of independent samples. One sample: half-width 0.
+[[nodiscard]] ConfidenceInterval mean_ci_95(std::span<const double> samples);
+
+}  // namespace wmn::stats

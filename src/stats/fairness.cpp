@@ -1,0 +1,32 @@
+#include "stats/fairness.hpp"
+
+#include <algorithm>
+
+namespace wmn::stats {
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double peak_to_mean(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double peak = 0.0;
+  for (double x : xs) {
+    sum += x;
+    peak = std::max(peak, x);
+  }
+  if (sum <= 0.0) return 1.0;
+  const double mean = sum / static_cast<double>(xs.size());
+  return peak / mean;
+}
+
+}  // namespace wmn::stats

@@ -1,0 +1,17 @@
+// Load-distribution fairness measures for the F8 experiment.
+#pragma once
+
+#include <span>
+
+namespace wmn::stats {
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1];
+// 1 = perfectly even, 1/n = all load on one node. Empty/all-zero
+// input returns 1 (vacuously fair).
+[[nodiscard]] double jain_index(std::span<const double> xs);
+
+// Peak-to-mean ratio: how much hotter the hottest node runs than the
+// average (>= 1; 1 = perfectly even). All-zero input returns 1.
+[[nodiscard]] double peak_to_mean(std::span<const double> xs);
+
+}  // namespace wmn::stats

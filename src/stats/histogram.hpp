@@ -1,0 +1,38 @@
+// Fixed-bin histogram with under/overflow buckets and quantile
+// estimation by linear interpolation within bins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wmn::stats {
+
+class Histogram {
+ public:
+  // [lo, hi) divided into `bins` equal-width buckets.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bin_count_size() const { return bins_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  // Approximate quantile (q in [0,1]); clamps into [lo, hi].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wmn::stats

@@ -1,0 +1,34 @@
+// Online summary statistics (Welford's algorithm): numerically stable
+// single-pass mean/variance with min/max, plus merge (parallel
+// reduction over replications uses it).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wmn::stats {
+
+class Summary {
+ public:
+  void add(double x);
+
+  // Combine two summaries (Chan et al. parallel variance update).
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wmn::stats

@@ -1,0 +1,82 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace wmn::stats {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  os << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace wmn::stats

@@ -1,0 +1,38 @@
+// Result-table rendering: aligned console tables (the paper-style
+// figure/table output every bench prints) and CSV export.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wmn::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // All rows must have exactly the column count.
+  void add_row(std::vector<std::string> cells);
+
+  // Numeric convenience: formats with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  // Render as an aligned console table.
+  void print(std::ostream& os) const;
+
+  // Render as CSV (RFC-4180-ish quoting of commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  // Write CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return columns_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wmn::stats

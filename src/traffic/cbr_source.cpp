@@ -1,0 +1,90 @@
+#include "traffic/cbr_source.hpp"
+
+#include <cassert>
+
+namespace wmn::traffic {
+
+namespace {
+constexpr std::uint64_t kCbrStreamSalt = 0xCB20'0000'0000'0000ULL;
+constexpr std::uint64_t kOnOffStreamSalt = 0x0F0F'0000'0000'0000ULL;
+}  // namespace
+
+CbrSource::CbrSource(sim::Simulator& simulator, const CbrConfig& cfg,
+                     routing::AodvAgent& agent, net::PacketFactory& factory,
+                     FlowRegistry& registry)
+    : sim_(simulator),
+      cfg_(cfg),
+      agent_(agent),
+      factory_(factory),
+      registry_(registry),
+      rng_(simulator.make_stream(kCbrStreamSalt ^ cfg.flow_id)) {
+  assert(cfg_.rate_pps > 0.0);
+  registry_.register_flow(cfg_.flow_id, agent_.address(), cfg_.dest);
+  const sim::Time interval = sim::Time::seconds(1.0 / cfg_.rate_pps);
+  sim::Time first = cfg_.start;
+  if (cfg_.randomize_start_phase) first += interval.scaled(rng_.uniform01());
+  timer_ = sim_.schedule_at(first, [this] { emit(); });
+}
+
+CbrSource::~CbrSource() { sim_.cancel(timer_); }
+
+void CbrSource::emit() {
+  if (sim_.now() >= cfg_.stop) return;
+  net::Packet pkt = factory_.make(cfg_.packet_bytes, sim_.now());
+  pkt.set_flow_info(net::Packet::FlowInfo{cfg_.flow_id, ++seq_, sim_.now(), true});
+  registry_.record_sent(cfg_.flow_id, cfg_.packet_bytes);
+  agent_.send(std::move(pkt), cfg_.dest);
+  timer_ = sim_.schedule(sim::Time::seconds(1.0 / cfg_.rate_pps),
+                         [this] { emit(); });
+}
+
+PoissonOnOffSource::PoissonOnOffSource(sim::Simulator& simulator,
+                                       const PoissonOnOffConfig& cfg,
+                                       routing::AodvAgent& agent,
+                                       net::PacketFactory& factory,
+                                       FlowRegistry& registry)
+    : sim_(simulator),
+      cfg_(cfg),
+      agent_(agent),
+      factory_(factory),
+      registry_(registry),
+      rng_(simulator.make_stream(kOnOffStreamSalt ^ cfg.flow_id)) {
+  assert(cfg_.rate_pps > 0.0);
+  registry_.register_flow(cfg_.flow_id, agent_.address(), cfg_.dest);
+  timer_ = sim_.schedule_at(
+      cfg_.start + sim::Time::seconds(rng_.exponential(cfg_.mean_off.to_seconds())),
+      [this] { begin_on(); });
+}
+
+PoissonOnOffSource::~PoissonOnOffSource() { sim_.cancel(timer_); }
+
+void PoissonOnOffSource::begin_on() {
+  if (sim_.now() >= cfg_.stop) return;
+  on_ = true;
+  on_ends_ = sim_.now() +
+             sim::Time::seconds(rng_.exponential(cfg_.mean_on.to_seconds()));
+  emit();
+}
+
+void PoissonOnOffSource::begin_off() {
+  on_ = false;
+  timer_ = sim_.schedule(
+      sim::Time::seconds(rng_.exponential(cfg_.mean_off.to_seconds())),
+      [this] { begin_on(); });
+}
+
+void PoissonOnOffSource::emit() {
+  if (sim_.now() >= cfg_.stop) return;
+  if (!on_ || sim_.now() >= on_ends_) {
+    begin_off();
+    return;
+  }
+  net::Packet pkt = factory_.make(cfg_.packet_bytes, sim_.now());
+  pkt.set_flow_info(net::Packet::FlowInfo{cfg_.flow_id, ++seq_, sim_.now(), true});
+  registry_.record_sent(cfg_.flow_id, cfg_.packet_bytes);
+  agent_.send(std::move(pkt), cfg_.dest);
+  timer_ = sim_.schedule(sim::Time::seconds(1.0 / cfg_.rate_pps),
+                         [this] { emit(); });
+}
+
+}  // namespace wmn::traffic

@@ -1,0 +1,94 @@
+// Application-layer traffic sources.
+//
+// CbrSource emits fixed-size packets at a constant rate between start
+// and stop times (the evaluation workload: 512-byte UDP-style CBR).
+// PoissonOnOffSource alternates exponential ON/OFF periods, emitting
+// CBR during ON — the bursty variant used in the congestion benches.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/aodv.hpp"
+#include "traffic/flow_registry.hpp"
+
+namespace wmn::traffic {
+
+struct CbrConfig {
+  std::uint32_t flow_id = 0;
+  net::Address dest;
+  std::uint32_t packet_bytes = 512;
+  double rate_pps = 4.0;
+  sim::Time start{};
+  sim::Time stop = sim::Time::max();
+  // First packet is offset uniformly within one interval so flows
+  // starting together do not phase-align.
+  bool randomize_start_phase = true;
+};
+
+class CbrSource {
+ public:
+  CbrSource(sim::Simulator& simulator, const CbrConfig& cfg,
+            routing::AodvAgent& agent, net::PacketFactory& factory,
+            FlowRegistry& registry);
+  ~CbrSource();
+
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return seq_; }
+  [[nodiscard]] std::uint32_t flow_id() const { return cfg_.flow_id; }
+
+ private:
+  void emit();
+
+  sim::Simulator& sim_;
+  CbrConfig cfg_;
+  routing::AodvAgent& agent_;
+  net::PacketFactory& factory_;
+  FlowRegistry& registry_;
+  sim::RngStream rng_;
+  std::uint64_t seq_ = 0;
+  sim::EventId timer_{};
+};
+
+struct PoissonOnOffConfig {
+  std::uint32_t flow_id = 0;
+  net::Address dest;
+  std::uint32_t packet_bytes = 512;
+  double rate_pps = 8.0;          // rate while ON
+  sim::Time mean_on = sim::Time::seconds(2.0);
+  sim::Time mean_off = sim::Time::seconds(2.0);
+  sim::Time start{};
+  sim::Time stop = sim::Time::max();
+};
+
+class PoissonOnOffSource {
+ public:
+  PoissonOnOffSource(sim::Simulator& simulator, const PoissonOnOffConfig& cfg,
+                     routing::AodvAgent& agent, net::PacketFactory& factory,
+                     FlowRegistry& registry);
+  ~PoissonOnOffSource();
+
+  PoissonOnOffSource(const PoissonOnOffSource&) = delete;
+  PoissonOnOffSource& operator=(const PoissonOnOffSource&) = delete;
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return seq_; }
+
+ private:
+  void begin_on();
+  void begin_off();
+  void emit();
+
+  sim::Simulator& sim_;
+  PoissonOnOffConfig cfg_;
+  routing::AodvAgent& agent_;
+  net::PacketFactory& factory_;
+  FlowRegistry& registry_;
+  sim::RngStream rng_;
+  std::uint64_t seq_ = 0;
+  bool on_ = false;
+  sim::Time on_ends_{};
+  sim::EventId timer_{};
+};
+
+}  // namespace wmn::traffic

@@ -1,0 +1,51 @@
+#include "traffic/flow_builder.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace wmn::traffic {
+
+std::vector<NodePair> random_pairs(std::size_t n_flows, std::uint32_t n_nodes,
+                                   sim::RngStream& rng) {
+  assert(n_nodes >= 2);
+  std::vector<NodePair> out;
+  std::set<NodePair> used;
+  out.reserve(n_flows);
+  // With n_flows << n_nodes^2 rejection terminates fast; the cap keeps
+  // pathological parameterizations from spinning.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = n_flows * 1000 + 1000;
+  while (out.size() < n_flows && attempts++ < max_attempts) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_u64(0, n_nodes - 1));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_u64(0, n_nodes - 1));
+    if (a == b) continue;
+    if (!used.insert({a, b}).second) continue;
+    out.push_back({a, b});
+  }
+  assert(out.size() == n_flows && "could not build requested flow count");
+  return out;
+}
+
+std::vector<NodePair> gateway_pairs(std::size_t n_flows, std::uint32_t n_nodes,
+                                    const std::vector<std::uint32_t>& gateways,
+                                    sim::RngStream& rng) {
+  assert(!gateways.empty() && n_nodes >= 2);
+  std::vector<NodePair> out;
+  std::set<NodePair> used;
+  out.reserve(n_flows);
+  std::size_t gw_idx = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = n_flows * 1000 + 1000;
+  while (out.size() < n_flows && attempts++ < max_attempts) {
+    const std::uint32_t gw = gateways[gw_idx % gateways.size()];
+    const auto src = static_cast<std::uint32_t>(rng.uniform_u64(0, n_nodes - 1));
+    if (src == gw) continue;
+    if (!used.insert({src, gw}).second) continue;
+    out.push_back({src, gw});
+    ++gw_idx;
+  }
+  assert(out.size() == n_flows && "could not build requested flow count");
+  return out;
+}
+
+}  // namespace wmn::traffic

@@ -1,0 +1,31 @@
+// Flow-set construction for experiments.
+//
+// random_pairs: the standard evaluation workload — n distinct
+// (src, dst) pairs drawn uniformly with src != dst (and no duplicate
+// pairs), matching the "randomly chosen CBR connections" setup of the
+// source papers.
+//
+// gateway_pairs: WMN backhaul workload — every flow targets one of the
+// gateway nodes (round-robin), concentrating load near gateways; the
+// workload behind the load-balance experiment (F8).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace wmn::traffic {
+
+using NodePair = std::pair<std::uint32_t, std::uint32_t>;
+
+[[nodiscard]] std::vector<NodePair> random_pairs(std::size_t n_flows,
+                                                 std::uint32_t n_nodes,
+                                                 sim::RngStream& rng);
+
+[[nodiscard]] std::vector<NodePair> gateway_pairs(
+    std::size_t n_flows, std::uint32_t n_nodes,
+    const std::vector<std::uint32_t>& gateways, sim::RngStream& rng);
+
+}  // namespace wmn::traffic

@@ -1,0 +1,51 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace wmn::net {
+namespace {
+
+TEST(Address, DefaultIsInvalid) {
+  Address a;
+  EXPECT_FALSE(a.is_valid());
+  EXPECT_FALSE(a.is_broadcast());
+}
+
+TEST(Address, BroadcastIsDistinct) {
+  EXPECT_TRUE(Address::broadcast().is_broadcast());
+  EXPECT_TRUE(Address::broadcast().is_valid());
+  EXPECT_NE(Address::broadcast(), Address::invalid());
+}
+
+TEST(Address, ValueRoundTrip) {
+  const Address a(42);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_FALSE(a.is_broadcast());
+}
+
+TEST(Address, Ordering) {
+  EXPECT_LT(Address(1), Address(2));
+  EXPECT_EQ(Address(7), Address(7));
+  EXPECT_NE(Address(7), Address(8));
+}
+
+TEST(Address, HashUsableInSets) {
+  std::unordered_set<Address> set;
+  for (std::uint32_t i = 0; i < 100; ++i) set.insert(Address(i));
+  set.insert(Address(50));  // duplicate
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(Address(99)));
+  EXPECT_FALSE(set.contains(Address(100)));
+}
+
+TEST(Address, StringRendering) {
+  EXPECT_EQ(Address(5).str(), "5");
+  EXPECT_EQ(Address::broadcast().str(), "*");
+  EXPECT_EQ(Address::invalid().str(), "-");
+}
+
+}  // namespace
+}  // namespace wmn::net

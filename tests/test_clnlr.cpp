@@ -1,0 +1,198 @@
+// CLNLR-specific behaviour: the cross-layer load index, neighbourhood
+// load dissemination via HELLOs, and protocol factory wiring.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/node_load_index.hpp"
+#include "core/protocols.hpp"
+#include "mobility/mobility_model.hpp"
+#include "phy/channel.hpp"
+
+namespace wmn::core {
+namespace {
+
+using mobility::ConstantPositionModel;
+using mobility::Vec2;
+
+struct ClnlrBed {
+  explicit ClnlrBed(std::vector<Vec2> positions, Protocol protocol = Protocol::kClnlr,
+                    std::uint64_t seed = 1)
+      : sim(seed), channel(sim, std::make_unique<phy::LogDistanceModel>()) {
+    ProtocolOptions options;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const auto id = static_cast<std::uint32_t>(i);
+      mobilities.push_back(std::make_unique<ConstantPositionModel>(positions[i]));
+      phys.push_back(std::make_unique<phy::WifiPhy>(sim, phy::PhyConfig{}, id,
+                                                    mobilities.back().get()));
+      channel.attach(phys.back().get());
+      macs.push_back(std::make_unique<mac::DcfMac>(
+          sim, mac::MacConfig{}, net::Address(id), *phys.back(), factory));
+      agents.push_back(
+          make_agent(protocol, options, sim, net::Address(id), *macs.back(),
+                     factory));
+    }
+  }
+
+  sim::Simulator sim;
+  phy::WirelessChannel channel;
+  net::PacketFactory factory;
+  std::vector<std::unique_ptr<ConstantPositionModel>> mobilities;
+  std::vector<std::unique_ptr<phy::WifiPhy>> phys;
+  std::vector<std::unique_ptr<mac::DcfMac>> macs;
+  std::vector<std::unique_ptr<routing::AodvAgent>> agents;
+};
+
+TEST(NodeLoadIndex, IdleNodeHasZeroLoad) {
+  ClnlrBed tb({{0, 0}, {150, 0}});
+  NodeLoadIndex idx(tb.sim, LoadIndexParams{}, *tb.macs[0]);
+  tb.sim.run_until(sim::Time::seconds(2.0));
+  EXPECT_LT(idx.load_index(), 0.05);
+}
+
+TEST(NodeLoadIndex, BoundedToUnitInterval) {
+  ClnlrBed tb({{0, 0}, {150, 0}});
+  NodeLoadIndex idx(tb.sim, LoadIndexParams{}, *tb.macs[0]);
+  // Saturate the MAC.
+  for (int i = 0; i < 3000; ++i) {
+    tb.sim.schedule_at(sim::Time::millis(i * 1.0), [&] {
+      tb.macs[0]->enqueue(tb.factory.make(512, tb.sim.now()), net::Address(1));
+    });
+  }
+  for (int i = 1; i <= 6; ++i) {
+    tb.sim.schedule_at(sim::Time::seconds(static_cast<double>(i)), [&] {
+      EXPECT_GE(idx.load_index(), 0.0);
+      EXPECT_LE(idx.load_index(), 1.0);
+    });
+  }
+  tb.sim.run_until(sim::Time::seconds(6.0));
+}
+
+TEST(NodeLoadIndex, RisesUnderSaturation) {
+  ClnlrBed tb({{0, 0}, {150, 0}});
+  NodeLoadIndex idx(tb.sim, LoadIndexParams{}, *tb.macs[0]);
+  for (int i = 0; i < 4000; ++i) {
+    tb.sim.schedule_at(sim::Time::millis(500.0 + i * 1.0), [&] {
+      tb.macs[0]->enqueue(tb.factory.make(512, tb.sim.now()), net::Address(1));
+    });
+  }
+  tb.sim.run_until(sim::Time::seconds(4.0));
+  EXPECT_GT(idx.load_index(), 0.3);
+}
+
+TEST(NodeLoadIndex, WeightsAreRespected) {
+  ClnlrBed tb({{0, 0}, {150, 0}});
+  LoadIndexParams only_queue;
+  only_queue.weight_queue = 1.0;
+  only_queue.weight_busy = 0.0;
+  only_queue.weight_retry = 0.0;
+  NodeLoadIndex idx(tb.sim, only_queue, *tb.macs[0]);
+  // No traffic: queue component stays zero even if we pretend the air
+  // is busy elsewhere.
+  tb.sim.run_until(sim::Time::seconds(2.0));
+  EXPECT_DOUBLE_EQ(idx.load_index(), 0.0);
+}
+
+TEST(NodeLoadIndex, ZeroWeightsGiveZero) {
+  ClnlrBed tb({{0, 0}, {150, 0}});
+  LoadIndexParams zero;
+  zero.weight_queue = zero.weight_busy = zero.weight_retry = 0.0;
+  NodeLoadIndex idx(tb.sim, zero, *tb.macs[0]);
+  tb.sim.run_until(sim::Time::seconds(1.0));
+  EXPECT_DOUBLE_EQ(idx.load_index(), 0.0);
+}
+
+TEST(Clnlr, HellosDisseminateLoadToNeighbours) {
+  ClnlrBed tb({{0, 0}, {150, 0}, {300, 0}});
+  // Saturate node 0 so its advertised load rises.
+  for (int i = 0; i < 5000; ++i) {
+    tb.sim.schedule_at(sim::Time::millis(1000.0 + i * 1.0), [&] {
+      tb.macs[0]->enqueue(tb.factory.make(512, tb.sim.now()), net::Address(1));
+    });
+  }
+  tb.sim.run_until(sim::Time::seconds(6.0));
+  // Node 1 hears node 0's hellos; its view of 0's load must be > 0.
+  const routing::NeighborInfo* info =
+      tb.agents[1]->neighbors().info(net::Address(0));
+  ASSERT_NE(info, nullptr);
+  EXPECT_GT(info->load_index, 0.1);
+  // Neighbourhood load of node 1 blends it in.
+  EXPECT_GT(tb.agents[1]->neighbourhood_load(), 0.05);
+}
+
+TEST(Clnlr, BaselineHellosCarryNoLoad) {
+  ClnlrBed tb({{0, 0}, {150, 0}}, Protocol::kAodvFlood);
+  for (int i = 0; i < 2000; ++i) {
+    tb.sim.schedule_at(sim::Time::millis(500.0 + i * 1.0), [&] {
+      tb.macs[0]->enqueue(tb.factory.make(512, tb.sim.now()), net::Address(1));
+    });
+  }
+  tb.sim.run_until(sim::Time::seconds(4.0));
+  const routing::NeighborInfo* info =
+      tb.agents[1]->neighbors().info(net::Address(0));
+  ASSERT_NE(info, nullptr);
+  EXPECT_DOUBLE_EQ(info->load_index, 0.0);
+  EXPECT_DOUBLE_EQ(tb.agents[1]->neighbourhood_load(), 0.0);
+}
+
+TEST(Clnlr, NeighbourhoodLoadIsWeightedBlend) {
+  ClnlrBed tb({{0, 0}, {150, 0}});
+  tb.sim.run_until(sim::Time::seconds(3.0));
+  // Idle network: both own load and neighbour loads ~0.
+  EXPECT_LT(tb.agents[0]->neighbourhood_load(), 0.05);
+}
+
+TEST(ProtocolFactory, NamesAreStable) {
+  EXPECT_EQ(protocol_name(Protocol::kAodvFlood), "AODV-BF");
+  EXPECT_EQ(protocol_name(Protocol::kAodvGossip), "AODV-GOSSIP");
+  EXPECT_EQ(protocol_name(Protocol::kAodvCounter), "AODV-CB");
+  EXPECT_EQ(protocol_name(Protocol::kAodvAp), "AODV-AP");
+  EXPECT_EQ(protocol_name(Protocol::kAodvVap), "AODV-VAP");
+  EXPECT_EQ(protocol_name(Protocol::kClnlr), "CLNLR");
+  EXPECT_EQ(protocol_name(Protocol::kClnlrRdOnly), "CLNLR-RD");
+  EXPECT_EQ(protocol_name(Protocol::kClnlrRsOnly), "CLNLR-RS");
+}
+
+TEST(ProtocolFactory, CatalogueContents) {
+  EXPECT_EQ(all_protocols().size(), 8u);
+  EXPECT_EQ(headline_protocols().size(), 4u);
+}
+
+TEST(ProtocolFactory, ClnlrEnablesLoadMachinery) {
+  ClnlrBed tb({{0, 0}, {150, 0}}, Protocol::kClnlr);
+  EXPECT_TRUE(tb.agents[0]->config().use_load_metric);
+  EXPECT_TRUE(tb.agents[0]->config().hello_carries_load);
+  EXPECT_EQ(tb.agents[0]->policy_name(), "clnlr");
+}
+
+TEST(ProtocolFactory, BaselinesDisableLoadMachinery) {
+  ClnlrBed tb({{0, 0}, {150, 0}}, Protocol::kAodvGossip);
+  EXPECT_FALSE(tb.agents[0]->config().use_load_metric);
+  EXPECT_FALSE(tb.agents[0]->config().hello_carries_load);
+}
+
+TEST(ProtocolFactory, AblationsSplitTheMechanisms) {
+  ClnlrBed rd({{0, 0}, {150, 0}}, Protocol::kClnlrRdOnly);
+  EXPECT_FALSE(rd.agents[0]->config().use_load_metric);
+  EXPECT_TRUE(rd.agents[0]->config().hello_carries_load);
+  EXPECT_EQ(rd.agents[0]->policy_name(), "clnlr");
+
+  ClnlrBed rs({{0, 0}, {150, 0}}, Protocol::kClnlrRsOnly);
+  EXPECT_TRUE(rs.agents[0]->config().use_load_metric);
+  EXPECT_EQ(rs.agents[0]->policy_name(), "flood");
+}
+
+TEST(Clnlr, EndToEndDeliveryWorks) {
+  ClnlrBed tb({{0, 0}, {200, 0}, {400, 0}, {600, 0}}, Protocol::kClnlr);
+  int delivered = 0;
+  tb.agents[3]->set_deliver_callback(
+      [&](net::Packet, net::Address) { ++delivered; });
+  tb.sim.schedule(sim::Time::seconds(1.0), [&] {
+    tb.agents[0]->send(tb.factory.make(256, tb.sim.now()), net::Address(3));
+  });
+  tb.sim.run_until(sim::Time::seconds(10.0));
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace wmn::core

@@ -1,0 +1,125 @@
+// Radio energy model accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/scenario.hpp"
+#include "mobility/mobility_model.hpp"
+#include "phy/channel.hpp"
+
+namespace wmn::phy {
+namespace {
+
+using mobility::ConstantPositionModel;
+using mobility::Vec2;
+
+struct EnergyBed {
+  explicit EnergyBed(std::vector<Vec2> positions)
+      : sim(1), channel(sim, std::make_unique<LogDistanceModel>()) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      mob.push_back(std::make_unique<ConstantPositionModel>(positions[i]));
+      phys.push_back(std::make_unique<WifiPhy>(
+          sim, PhyConfig{}, static_cast<std::uint32_t>(i), mob.back().get()));
+      channel.attach(phys.back().get());
+    }
+  }
+  net::Packet packet(std::uint32_t bytes) { return factory.make(bytes, sim.now()); }
+
+  sim::Simulator sim;
+  WirelessChannel channel;
+  net::PacketFactory factory;
+  std::vector<std::unique_ptr<ConstantPositionModel>> mob;
+  std::vector<std::unique_ptr<WifiPhy>> phys;
+};
+
+TEST(Energy, IdleRadioDrawsIdlePower) {
+  EnergyBed tb({{0, 0}, {150, 0}});
+  tb.sim.schedule(sim::Time::seconds(10.0), [] {});
+  tb.sim.run();
+  const PhyConfig cfg;
+  EXPECT_NEAR(tb.phys[0]->energy_joules(), cfg.power_idle_w * 10.0, 1e-9);
+}
+
+TEST(Energy, TransmissionCostsTxMinusIdleDelta) {
+  EnergyBed tb({{0, 0}, {150, 0}});
+  tb.sim.schedule(sim::Time::zero(), [&] { tb.phys[0]->send(tb.packet(512)); });
+  tb.sim.schedule(sim::Time::seconds(10.0), [] {});
+  tb.sim.run();
+  const PhyConfig cfg;
+  const double air_s = tb.phys[0]->tx_duration(512).to_seconds();
+  const double expected =
+      cfg.power_idle_w * (10.0 - air_s) + cfg.power_tx_w * air_s;
+  EXPECT_NEAR(tb.phys[0]->energy_joules(), expected, 1e-9);
+}
+
+TEST(Energy, ReceptionCostsRxMinusIdleDelta) {
+  EnergyBed tb({{0, 0}, {150, 0}});
+  tb.sim.schedule(sim::Time::zero(), [&] { tb.phys[0]->send(tb.packet(512)); });
+  tb.sim.schedule(sim::Time::seconds(10.0), [] {});
+  tb.sim.run();
+  const PhyConfig cfg;
+  const double air_s = tb.phys[1]->counters().rx_airtime.to_seconds();
+  EXPECT_GT(air_s, 0.0);
+  const double expected =
+      cfg.power_idle_w * (10.0 - air_s) + cfg.power_rx_w * air_s;
+  EXPECT_NEAR(tb.phys[1]->energy_joules(), expected, 1e-6);
+}
+
+TEST(Energy, MonotoneOverTime) {
+  EnergyBed tb({{0, 0}, {150, 0}});
+  std::vector<double> samples;
+  for (int t = 1; t <= 5; ++t) {
+    tb.sim.schedule_at(sim::Time::seconds(static_cast<double>(t)), [&] {
+      samples.push_back(tb.phys[0]->energy_joules());
+    });
+  }
+  tb.sim.schedule(sim::Time::millis(500.0),
+                  [&] { tb.phys[0]->send(tb.packet(256)); });
+  tb.sim.run();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i], samples[i - 1]);
+  }
+}
+
+TEST(Energy, ScenarioMetricsExposeEnergy) {
+  exp::ScenarioConfig cfg;
+  cfg.n_nodes = 16;
+  cfg.area_width_m = 500.0;
+  cfg.area_height_m = 500.0;
+  cfg.traffic.n_flows = 3;
+  cfg.warmup = sim::Time::seconds(2.0);
+  cfg.traffic_time = sim::Time::seconds(8.0);
+  cfg.seed = 4;
+  exp::Scenario s(cfg);
+  s.run();
+  const exp::RunMetrics m = s.metrics();
+  EXPECT_GT(m.total_energy_j, 0.0);
+  EXPECT_NEAR(m.mean_node_energy_j, m.total_energy_j / 16.0, 1e-9);
+  EXPECT_GT(m.energy_mj_per_kbit, 0.0);
+  // Sanity scale: 16 radios for 12 s at ~0.8-1.4 W each.
+  EXPECT_GT(m.total_energy_j, 16 * 0.8 * 11.0);
+  EXPECT_LT(m.total_energy_j, 16 * 1.5 * 13.0);
+}
+
+TEST(Energy, BusierProtocolBurnsMore) {
+  // Same scenario, higher offered load -> more TX/RX time -> more energy.
+  exp::ScenarioConfig cfg;
+  cfg.n_nodes = 16;
+  cfg.area_width_m = 500.0;
+  cfg.area_height_m = 500.0;
+  cfg.traffic.n_flows = 3;
+  cfg.warmup = sim::Time::seconds(2.0);
+  cfg.traffic_time = sim::Time::seconds(8.0);
+  cfg.seed = 4;
+
+  cfg.traffic.rate_pps = 1.0;
+  exp::Scenario light(cfg);
+  light.run();
+  cfg.traffic.rate_pps = 20.0;
+  exp::Scenario heavy(cfg);
+  heavy.run();
+  EXPECT_GT(heavy.metrics().total_energy_j, light.metrics().total_energy_j);
+}
+
+}  // namespace
+}  // namespace wmn::phy

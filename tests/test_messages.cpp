@@ -1,0 +1,81 @@
+// Wire-format invariants for the routing control plane.
+#include "routing/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace wmn::routing {
+namespace {
+
+TEST(Messages, WireSizesMatchRfcLayouts) {
+  EXPECT_EQ(DataHeader::kWireSize, 20u);   // IP-like
+  EXPECT_EQ(RreqHeader::kWireSize, 24u);   // RFC 3561 section 5.1
+  EXPECT_EQ(RrepHeader::kWireSize, 20u);   // RFC 3561 section 5.2
+  EXPECT_EQ(RerrHeader::kWireSize, 12u);   // single-destination RERR
+  EXPECT_EQ(HelloHeader::kWireSize, 20u);  // TTL-1 RREP equivalent
+  EXPECT_EQ(LoadTlv::kWireSize, 8u);       // CLNLR extension
+}
+
+TEST(Messages, RerrCarriesMultipleDestinations) {
+  RerrHeader h;
+  ASSERT_EQ(RerrHeader::kMaxUnreachable, 5u);
+  for (std::uint8_t i = 0; i < RerrHeader::kMaxUnreachable; ++i) {
+    h.unreachable[i] = net::Address(i + 10);
+    h.seqno[i] = 100u + i;
+    ++h.count;
+  }
+  EXPECT_EQ(h.count, 5);
+  EXPECT_EQ(h.unreachable[4], net::Address(14));
+  EXPECT_EQ(h.seqno[4], 104u);
+}
+
+TEST(Messages, DefaultsAreSane) {
+  RreqHeader rreq;
+  EXPECT_TRUE(rreq.unknown_dest_seqno);
+  EXPECT_EQ(rreq.hop_count, 0);
+  DataHeader data;
+  EXPECT_EQ(data.ttl, 64);
+  LoadTlv tlv;
+  EXPECT_DOUBLE_EQ(tlv.load, 0.0);
+}
+
+TEST(Messages, HeadersRoundTripThroughPacket) {
+  net::PacketFactory f;
+  net::Packet p = f.make(0, sim::Time::zero());
+
+  RreqHeader rreq;
+  rreq.rreq_id = 42;
+  rreq.origin = net::Address(1);
+  rreq.origin_seqno = 7;
+  rreq.dest = net::Address(9);
+  rreq.dest_seqno = 3;
+  rreq.unknown_dest_seqno = false;
+  rreq.hop_count = 2;
+  rreq.ttl = 30;
+
+  p.push(LoadTlv{0.42});
+  p.push(rreq);
+
+  const RreqHeader out = p.pop<RreqHeader>();
+  EXPECT_EQ(out.rreq_id, 42u);
+  EXPECT_EQ(out.origin, net::Address(1));
+  EXPECT_EQ(out.origin_seqno, 7u);
+  EXPECT_EQ(out.dest, net::Address(9));
+  EXPECT_EQ(out.dest_seqno, 3u);
+  EXPECT_FALSE(out.unknown_dest_seqno);
+  EXPECT_EQ(out.hop_count, 2);
+  EXPECT_EQ(out.ttl, 30);
+  EXPECT_DOUBLE_EQ(p.pop<LoadTlv>().load, 0.42);
+}
+
+TEST(Messages, ControlPacketsAreSmallerThanData) {
+  // The on-demand overhead economy only makes sense if control frames
+  // are an order of magnitude smaller than 512-byte data packets.
+  EXPECT_LT(RreqHeader::kWireSize + LoadTlv::kWireSize, 64u);
+  EXPECT_LT(RrepHeader::kWireSize, 64u);
+  EXPECT_LT(HelloHeader::kWireSize + LoadTlv::kWireSize, 64u);
+}
+
+}  // namespace
+}  // namespace wmn::routing

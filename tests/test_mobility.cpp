@@ -1,0 +1,119 @@
+#include "mobility/mobility_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace wmn::mobility {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{1.0, 1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 5.0}));
+  EXPECT_EQ((a - b), (Vec2{2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{6.0, 8.0}));
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance_to(b), std::hypot(2.0, 3.0));
+}
+
+TEST(Vec2, DirectionToIsUnit) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  EXPECT_EQ(a.direction_to(b), (Vec2{1.0, 0.0}));
+  EXPECT_EQ(a.direction_to(a), (Vec2{0.0, 0.0}));  // coincident
+}
+
+TEST(ConstantPosition, NeverMoves) {
+  ConstantPositionModel m(Vec2{5.0, 7.0});
+  EXPECT_EQ(m.position(sim::Time::zero()), (Vec2{5.0, 7.0}));
+  EXPECT_EQ(m.position(sim::Time::seconds(1e6)), (Vec2{5.0, 7.0}));
+  EXPECT_DOUBLE_EQ(m.speed(sim::Time::seconds(3.0)), 0.0);
+}
+
+TEST(ConstantVelocity, LinearMotion) {
+  ConstantVelocityModel m(Vec2{0.0, 0.0}, Vec2{2.0, -1.0}, sim::Time::zero());
+  const Vec2 p = m.position(sim::Time::seconds(3.0));
+  EXPECT_DOUBLE_EQ(p.x, 6.0);
+  EXPECT_DOUBLE_EQ(p.y, -3.0);
+  EXPECT_EQ(m.velocity(sim::Time::zero()), (Vec2{2.0, -1.0}));
+}
+
+TEST(ConstantVelocity, RespectsStartTime) {
+  ConstantVelocityModel m(Vec2{10.0, 0.0}, Vec2{1.0, 0.0}, sim::Time::seconds(5.0));
+  EXPECT_DOUBLE_EQ(m.position(sim::Time::seconds(7.0)).x, 12.0);
+}
+
+class RandomWaypointTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWaypointTest, StaysInsideArea) {
+  sim::Simulator s(GetParam());
+  RandomWaypointConfig cfg;
+  cfg.area_width_m = 300.0;
+  cfg.area_height_m = 200.0;
+  cfg.min_speed_mps = 1.0;
+  cfg.max_speed_mps = 20.0;
+  cfg.pause = sim::Time::seconds(0.5);
+  RandomWaypointModel m(s, cfg, Vec2{150.0, 100.0}, 7);
+
+  // Sample the position as the simulation advances.
+  for (int i = 1; i <= 600; ++i) {
+    s.schedule_at(sim::Time::seconds(i * 0.5), [&m, &s, &cfg] {
+      const Vec2 p = m.position(s.now());
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, cfg.area_width_m);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, cfg.area_height_m);
+      EXPECT_LE(m.speed(s.now()), cfg.max_speed_mps + 1e-9);
+    });
+  }
+  s.run_until(sim::Time::seconds(301.0));
+}
+
+TEST_P(RandomWaypointTest, ActuallyMoves) {
+  sim::Simulator s(GetParam());
+  RandomWaypointConfig cfg;
+  cfg.pause = sim::Time::seconds(0.1);
+  cfg.min_speed_mps = 5.0;
+  cfg.max_speed_mps = 10.0;
+  RandomWaypointModel m(s, cfg, Vec2{500.0, 500.0}, 3);
+  const Vec2 start = m.position(s.now());
+  double max_dist = 0.0;
+  for (int i = 1; i <= 200; ++i) {
+    s.schedule_at(sim::Time::seconds(i * 1.0), [&] {
+      max_dist = std::max(max_dist, start.distance_to(m.position(s.now())));
+    });
+  }
+  s.run_until(sim::Time::seconds(201.0));
+  EXPECT_GT(max_dist, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWaypointTest, ::testing::Values(1, 7, 1234));
+
+TEST(RandomWaypoint, DeterministicPerStream) {
+  auto trace = [](std::uint64_t seed) {
+    sim::Simulator s(seed);
+    RandomWaypointConfig cfg;
+    RandomWaypointModel m(s, cfg, Vec2{10.0, 10.0}, 5);
+    std::vector<Vec2> points;
+    for (int i = 1; i <= 50; ++i) {
+      s.schedule_at(sim::Time::seconds(i * 2.0),
+                    [&] { points.push_back(m.position(s.now())); });
+    }
+    s.run_until(sim::Time::seconds(101.0));
+    return points;
+  };
+  const auto a = trace(77);
+  const auto b = trace(77);
+  const auto c = trace(78);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (!(a[i] == c[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace wmn::mobility

@@ -1,0 +1,89 @@
+#include "routing/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmn::routing {
+namespace {
+
+TEST(NeighborTable, HeardAddsNeighbor) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  t.heard(net::Address(3), 1, 0.25, 7);
+  EXPECT_TRUE(t.contains(net::Address(3)));
+  EXPECT_EQ(t.count(), 1u);
+  const NeighborInfo* info = t.info(net::Address(3));
+  ASSERT_NE(info, nullptr);
+  EXPECT_DOUBLE_EQ(info->load_index, 0.25);
+  EXPECT_EQ(info->degree, 7);
+}
+
+TEST(NeighborTable, MeanLoadAveragesNeighbors) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  EXPECT_DOUBLE_EQ(t.mean_neighbor_load(), 0.0);  // alone
+  t.heard(net::Address(1), 1, 0.2, 1);
+  t.heard(net::Address(2), 1, 0.6, 1);
+  EXPECT_DOUBLE_EQ(t.mean_neighbor_load(), 0.4);
+}
+
+TEST(NeighborTable, SilentNeighborExpiresAndFiresCallback) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  std::vector<net::Address> lost;
+  t.set_loss_callback([&](net::Address a) { lost.push_back(a); });
+
+  s.schedule(sim::Time::zero(), [&] { t.heard(net::Address(3), 1, 0.0, 0); });
+  s.run_until(sim::Time::seconds(10.0));
+  EXPECT_FALSE(t.contains(net::Address(3)));
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], net::Address(3));
+}
+
+TEST(NeighborTable, RefreshedNeighborSurvives) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  std::vector<net::Address> lost;
+  t.set_loss_callback([&](net::Address a) { lost.push_back(a); });
+
+  // Re-beacon every second for 10 seconds.
+  for (int i = 0; i <= 10; ++i) {
+    s.schedule_at(sim::Time::seconds(static_cast<double>(i)),
+                  [&] { t.heard(net::Address(3), 1, 0.0, 0); });
+  }
+  s.run_until(sim::Time::seconds(10.5));
+  EXPECT_TRUE(t.contains(net::Address(3)));
+  EXPECT_TRUE(lost.empty());
+}
+
+TEST(NeighborTable, RefreshUpdatesLivenessOnly) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  s.schedule(sim::Time::zero(), [&] { t.heard(net::Address(3), 1, 0.5, 4); });
+  // Refresh (data frame overheard) at 2 s keeps it alive past 2.5 s.
+  s.schedule(sim::Time::seconds(2.0), [&] { t.refresh(net::Address(3)); });
+  s.schedule(sim::Time::seconds(4.0), [&] {
+    EXPECT_TRUE(t.contains(net::Address(3)));
+    // Load/degree unchanged by refresh.
+    EXPECT_DOUBLE_EQ(t.info(net::Address(3))->load_index, 0.5);
+  });
+  s.run_until(sim::Time::seconds(4.1));
+}
+
+TEST(NeighborTable, RefreshUnknownIsNoop) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  t.refresh(net::Address(42));
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(NeighborTable, SnapshotListsAll) {
+  sim::Simulator s;
+  NeighborTable t(s, sim::Time::seconds(1.0), 2);
+  t.heard(net::Address(1), 1, 0.1, 1);
+  t.heard(net::Address(2), 2, 0.2, 2);
+  t.heard(net::Address(3), 3, 0.3, 3);
+  EXPECT_EQ(t.snapshot().size(), 3u);
+}
+
+}  // namespace
+}  // namespace wmn::routing

@@ -1,0 +1,95 @@
+#include "mobility/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wmn::mobility {
+namespace {
+
+TEST(GridPlacement, ProducesRequestedCount) {
+  for (std::size_t n : {1u, 2u, 7u, 16u, 50u, 100u, 250u}) {
+    EXPECT_EQ(grid_placement(n, 1000.0, 1000.0).size(), n);
+  }
+}
+
+TEST(GridPlacement, AllInsideArea) {
+  const auto pts = grid_placement(100, 800.0, 600.0);
+  for (const Vec2& p : pts) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 800.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 600.0);
+  }
+}
+
+TEST(GridPlacement, PerfectSquareIsRegular) {
+  const auto pts = grid_placement(4, 100.0, 100.0);
+  // 2x2 grid with half-cell margins: (25,25) (75,25) (25,75) (75,75).
+  EXPECT_DOUBLE_EQ(pts[0].x, 25.0);
+  EXPECT_DOUBLE_EQ(pts[0].y, 25.0);
+  EXPECT_DOUBLE_EQ(pts[3].x, 75.0);
+  EXPECT_DOUBLE_EQ(pts[3].y, 75.0);
+}
+
+TEST(GridPlacement, NoDuplicatePositions) {
+  const auto pts = grid_placement(100, 1000.0, 1000.0);
+  std::set<std::pair<double, double>> seen;
+  for (const Vec2& p : pts) seen.insert({p.x, p.y});
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(UniformPlacement, BoundsAndDeterminism) {
+  sim::RngStream rng1(5, 0);
+  sim::RngStream rng2(5, 0);
+  const auto a = uniform_placement(200, 500.0, 300.0, rng1);
+  const auto b = uniform_placement(200, 500.0, 300.0, rng2);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].x, 0.0);
+    EXPECT_LT(a[i].x, 500.0);
+    EXPECT_GE(a[i].y, 0.0);
+    EXPECT_LT(a[i].y, 300.0);
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(PerturbedGrid, StaysClampedToArea) {
+  sim::RngStream rng(9, 0);
+  const auto pts = perturbed_grid_placement(100, 1000.0, 1000.0, 500.0, rng);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1000.0);
+  }
+}
+
+TEST(PerturbedGrid, JitterIsBounded) {
+  sim::RngStream rng(9, 0);
+  const auto base = grid_placement(100, 1000.0, 1000.0);
+  const auto pts = perturbed_grid_placement(100, 1000.0, 1000.0, 30.0, rng);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_LE(std::abs(pts[i].x - base[i].x), 30.0 + 1e-9);
+    EXPECT_LE(std::abs(pts[i].y - base[i].y), 30.0 + 1e-9);
+  }
+}
+
+TEST(PerturbedGrid, ZeroJitterEqualsGrid) {
+  sim::RngStream rng(9, 0);
+  const auto base = grid_placement(36, 600.0, 600.0);
+  const auto pts = perturbed_grid_placement(36, 600.0, 600.0, 0.0, rng);
+  for (std::size_t i = 0; i < pts.size(); ++i) EXPECT_EQ(pts[i], base[i]);
+}
+
+TEST(LinePlacement, EquallySpaced) {
+  const auto pts = line_placement(5, 200.0, 50.0);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pts[i].x, static_cast<double>(i) * 200.0);
+    EXPECT_DOUBLE_EQ(pts[i].y, 50.0);
+  }
+}
+
+}  // namespace
+}  // namespace wmn::mobility

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "core/clnlr_policy.hpp"
+#include "routing/rebroadcast_policy.hpp"
+
+namespace wmn {
+namespace {
+
+using core::ClnlrPolicyParams;
+using core::ClnlrRebroadcastPolicy;
+using routing::CounterPolicy;
+using routing::FloodPolicy;
+using routing::GossipPolicy;
+using routing::RebroadcastAction;
+using routing::RebroadcastContext;
+
+RebroadcastContext ctx(std::uint8_t hops, std::size_t degree, double nbhd_load) {
+  RebroadcastContext c;
+  c.hop_count = hops;
+  c.neighbor_count = degree;
+  c.own_load = nbhd_load;
+  c.neighbourhood_load = nbhd_load;
+  return c;
+}
+
+TEST(FloodPolicy, AlwaysForwards) {
+  FloodPolicy p;
+  sim::RngStream rng(1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = p.decide(ctx(3, 10, 0.9), rng);
+    EXPECT_EQ(d.action, RebroadcastAction::kForward);
+    EXPECT_GE(d.delay, sim::Time::zero());
+    EXPECT_LE(d.delay, sim::Time::millis(10.0));
+  }
+}
+
+TEST(GossipPolicy, ForwardRateMatchesP) {
+  GossipPolicy p(0.6, /*always_forward_hops=*/0);
+  sim::RngStream rng(1, 2);
+  int fwd = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.decide(ctx(5, 10, 0.0), rng).action == RebroadcastAction::kForward) {
+      ++fwd;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fwd) / n, 0.6, 0.02);
+}
+
+TEST(GossipPolicy, FirstHopsAlwaysForward) {
+  GossipPolicy p(0.01, /*always_forward_hops=*/2);
+  sim::RngStream rng(1, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.decide(ctx(0, 10, 0.0), rng).action, RebroadcastAction::kForward);
+    EXPECT_EQ(p.decide(ctx(1, 10, 0.0), rng).action, RebroadcastAction::kForward);
+  }
+}
+
+TEST(CounterPolicy, AlwaysDefers) {
+  CounterPolicy p(3, sim::Time::millis(8.0));
+  sim::RngStream rng(1, 4);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = p.decide(ctx(2, 10, 0.0), rng);
+    EXPECT_EQ(d.action, RebroadcastAction::kDefer);
+    EXPECT_LE(d.delay, sim::Time::millis(8.0));
+  }
+}
+
+TEST(CounterPolicy, AssessComparesTotalCopiesToThreshold) {
+  CounterPolicy p(3);
+  sim::RngStream rng(1, 5);
+  RebroadcastContext c = ctx(2, 10, 0.0);
+  c.duplicates_seen = 0;  // 1 copy total
+  EXPECT_TRUE(p.assess(c, rng));
+  c.duplicates_seen = 1;  // 2 copies
+  EXPECT_TRUE(p.assess(c, rng));
+  c.duplicates_seen = 2;  // 3 copies = threshold -> suppress
+  EXPECT_FALSE(p.assess(c, rng));
+  c.duplicates_seen = 10;
+  EXPECT_FALSE(p.assess(c, rng));
+}
+
+TEST(DefaultAssess, NonDeferringPoliciesSayForward) {
+  FloodPolicy p;
+  sim::RngStream rng(1, 6);
+  EXPECT_TRUE(p.assess(ctx(1, 5, 0.0), rng));
+}
+
+TEST(DensityGossipPolicy, ProbabilityInverselyScalesWithDegree) {
+  routing::DensityGossipPolicy p(0.65, 8.0, 0.25);
+  // At the reference degree p equals p_base; sparse nodes flood.
+  EXPECT_DOUBLE_EQ(p.forward_probability(8), 0.65);
+  EXPECT_DOUBLE_EQ(p.forward_probability(4), 1.0);   // clamped up
+  EXPECT_DOUBLE_EQ(p.forward_probability(0), 1.0);   // alone
+  EXPECT_NEAR(p.forward_probability(16), 0.325, 1e-12);
+  EXPECT_DOUBLE_EQ(p.forward_probability(100), 0.25);  // floor
+}
+
+TEST(DensityGossipPolicy, ForwardRateMatchesDegreeScaledP) {
+  routing::DensityGossipPolicy p(0.65, 8.0, 0.25, /*always_forward_hops=*/0);
+  sim::RngStream rng(1, 20);
+  int fwd = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.decide(ctx(5, 16, 0.0), rng).action == RebroadcastAction::kForward) {
+      ++fwd;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fwd) / n, 0.325, 0.02);
+}
+
+TEST(DensityGossipPolicy, FirstHopsAlwaysForward) {
+  routing::DensityGossipPolicy p(0.1, 8.0, 0.05, /*always_forward_hops=*/1);
+  sim::RngStream rng(1, 21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.decide(ctx(0, 40, 0.0), rng).action,
+              RebroadcastAction::kForward);
+  }
+}
+
+// ----- CLNLR probability formula -------------------------------------------
+
+TEST(ClnlrPolicy, IdleNetworkFloodsRegardlessOfDensity) {
+  ClnlrRebroadcastPolicy p;
+  // Zero load: density damping is gated off.
+  EXPECT_DOUBLE_EQ(p.forward_probability(ctx(5, 30, 0.0)), 1.0);
+  EXPECT_DOUBLE_EQ(p.forward_probability(ctx(5, 5, 0.0)), 1.0);
+}
+
+TEST(ClnlrPolicy, ProbabilityDecreasesWithLoad) {
+  ClnlrRebroadcastPolicy p;
+  double prev = 2.0;
+  for (double load = 0.0; load <= 1.0; load += 0.1) {
+    const double prob = p.forward_probability(ctx(5, 8, load));
+    EXPECT_LE(prob, prev);
+    prev = prob;
+  }
+}
+
+TEST(ClnlrPolicy, ProbabilityDecreasesWithDensityUnderLoad) {
+  ClnlrRebroadcastPolicy p;
+  const double sparse = p.forward_probability(ctx(5, 8, 0.3));
+  const double dense = p.forward_probability(ctx(5, 24, 0.3));
+  EXPECT_GT(sparse, dense);
+}
+
+TEST(ClnlrPolicy, ProbabilityClampedToBounds) {
+  ClnlrPolicyParams params;
+  params.p_min = 0.35;
+  ClnlrRebroadcastPolicy p(params);
+  for (double load = 0.0; load <= 1.0; load += 0.05) {
+    for (std::size_t deg = 1; deg <= 60; deg += 7) {
+      const double prob = p.forward_probability(ctx(5, deg, load));
+      EXPECT_GE(prob, params.p_min);
+      EXPECT_LE(prob, params.p_max);
+    }
+  }
+}
+
+TEST(ClnlrPolicy, SparseNodesAlwaysForward) {
+  ClnlrRebroadcastPolicy p;
+  sim::RngStream rng(1, 7);
+  for (int i = 0; i < 100; ++i) {
+    // Degree 2 with extreme load: still forwards (cut-vertex guard).
+    EXPECT_EQ(p.decide(ctx(5, 2, 1.0), rng).action, RebroadcastAction::kForward);
+  }
+}
+
+TEST(ClnlrPolicy, FirstHopAlwaysForwards) {
+  ClnlrRebroadcastPolicy p;
+  sim::RngStream rng(1, 8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.decide(ctx(0, 30, 1.0), rng).action, RebroadcastAction::kForward);
+  }
+}
+
+TEST(ClnlrPolicy, LosingCoinFlipDefersNotDrops) {
+  ClnlrPolicyParams params;
+  params.p_min = 0.0;
+  params.load_weight = 10.0;  // force p to p_min under load
+  ClnlrRebroadcastPolicy p(params);
+  sim::RngStream rng(1, 9);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = p.decide(ctx(5, 20, 0.9), rng);
+    EXPECT_EQ(d.action, RebroadcastAction::kDefer);
+    EXPECT_GT(d.delay, sim::Time::zero());
+  }
+}
+
+TEST(ClnlrPolicy, RescueForwardsOnlyWhenNoDuplicates) {
+  ClnlrRebroadcastPolicy p;
+  sim::RngStream rng(1, 10);
+  RebroadcastContext c = ctx(5, 20, 0.9);
+  c.duplicates_seen = 0;
+  EXPECT_TRUE(p.assess(c, rng));
+  c.duplicates_seen = 1;
+  EXPECT_FALSE(p.assess(c, rng));
+}
+
+TEST(ClnlrPolicy, JitterGrowsWithLoad) {
+  // Statistical check: mean delay at high load > mean delay when idle.
+  ClnlrRebroadcastPolicy p;
+  sim::RngStream rng(1, 11);
+  auto mean_delay = [&](double load) {
+    double sum = 0;
+    int n = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const auto d = p.decide(ctx(0, 8, load), rng);  // hop 0: always fwd
+      sum += d.delay.to_seconds();
+      ++n;
+    }
+    return sum / n;
+  };
+  EXPECT_GT(mean_delay(0.9), mean_delay(0.0) * 2.0);
+}
+
+// Property sweep: forward probability is monotone non-increasing in
+// load for every density.
+class ClnlrMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClnlrMonotone, NonIncreasingInLoad) {
+  ClnlrRebroadcastPolicy p;
+  const std::size_t degree = GetParam();
+  double prev = 2.0;
+  for (double load = 0.0; load <= 1.0001; load += 0.02) {
+    const double prob = p.forward_probability(ctx(5, degree, load));
+    EXPECT_LE(prob, prev + 1e-12);
+    prev = prob;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ClnlrMonotone,
+                         ::testing::Values(3, 8, 12, 20, 40));
+
+}  // namespace
+}  // namespace wmn

@@ -1,0 +1,139 @@
+#include "phy/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/units.hpp"
+
+namespace wmn::phy {
+namespace {
+
+using mobility::Vec2;
+
+TEST(Units, DbmMwRoundTrip) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(30.0), 1000.0);
+  EXPECT_NEAR(mw_to_dbm(dbm_to_mw(-85.0)), -85.0, 1e-9);
+  EXPECT_EQ(mw_to_dbm(0.0), -300.0);  // floor, not -inf
+}
+
+TEST(Friis, MatchesClosedForm) {
+  FriisModel m(2.4e9, 0.0);
+  // PL(d) = 20 log10(4 pi d f / c); at 100 m and 2.4 GHz: ~80.05 dB.
+  const double rx = m.rx_power_dbm(20.0, Vec2{0, 0}, Vec2{100, 0}, 0, 1);
+  EXPECT_NEAR(20.0 - rx, 80.05, 0.1);
+}
+
+TEST(Friis, SystemLossSubtracts) {
+  FriisModel a(2.4e9, 0.0);
+  FriisModel b(2.4e9, 6.0);
+  const double pa = a.rx_power_dbm(10.0, Vec2{0, 0}, Vec2{50, 0}, 0, 1);
+  const double pb = b.rx_power_dbm(10.0, Vec2{0, 0}, Vec2{50, 0}, 0, 1);
+  EXPECT_NEAR(pa - pb, 6.0, 1e-9);
+}
+
+TEST(LogDistance, ReferenceLossAtReferenceDistance) {
+  LogDistanceModel m(3.0, 1.0, 40.0);
+  const double rx = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{1, 0}, 0, 1);
+  EXPECT_NEAR(rx, 15.0 - 40.0, 1e-9);
+}
+
+TEST(LogDistance, TenXDistanceCostsTenNdB) {
+  LogDistanceModel m(3.0, 1.0, 40.0);
+  const double rx10 = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{10, 0}, 0, 1);
+  const double rx100 = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{100, 0}, 0, 1);
+  EXPECT_NEAR(rx10 - rx100, 30.0, 1e-9);
+}
+
+TEST(LogDistance, DefaultCalibrationGives250mRange) {
+  // The library default (exp 2.5, PL0 40 dB @ 1 m) with 15 dBm TX and
+  // -85 dBm sensitivity must give a communication range of ~250 m.
+  LogDistanceModel m;
+  const double at_250 = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{250, 0}, 0, 1);
+  const double at_260 = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{260, 0}, 0, 1);
+  EXPECT_GE(at_250, -85.0);
+  EXPECT_LT(at_260, -85.0);
+}
+
+TEST(TwoRay, FarFieldFollowsFourthPower) {
+  TwoRayGroundModel m(2.4e9, 1.5);
+  const double rx1km = m.rx_power_dbm(20.0, Vec2{0, 0}, Vec2{1000, 0}, 0, 1);
+  const double rx2km = m.rx_power_dbm(20.0, Vec2{0, 0}, Vec2{2000, 0}, 0, 1);
+  // d^4 law: doubling distance costs 40 log10(2) ~ 12.04 dB.
+  EXPECT_NEAR(rx1km - rx2km, 40.0 * std::log10(2.0), 0.01);
+}
+
+TEST(TwoRay, NearFieldUsesFriis) {
+  TwoRayGroundModel two_ray(2.4e9, 1.5);
+  FriisModel friis(2.4e9, 0.0);
+  const double a = two_ray.rx_power_dbm(20.0, Vec2{0, 0}, Vec2{10, 0}, 0, 1);
+  const double b = friis.rx_power_dbm(20.0, Vec2{0, 0}, Vec2{10, 0}, 0, 1);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Shadowing, DeterministicAndReciprocal) {
+  auto make = [] {
+    return LogNormalShadowing(std::make_unique<LogDistanceModel>(), 6.0, 99);
+  };
+  const LogNormalShadowing m1 = make();
+  const LogNormalShadowing m2 = make();
+  const double ab1 = m1.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{100, 0}, 4, 9);
+  const double ab2 = m2.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{100, 0}, 4, 9);
+  const double ba = m1.rx_power_dbm(15.0, Vec2{100, 0}, Vec2{0, 0}, 9, 4);
+  EXPECT_DOUBLE_EQ(ab1, ab2);   // deterministic
+  EXPECT_DOUBLE_EQ(ab1, ba);    // reciprocal
+}
+
+TEST(Shadowing, DifferentLinksDiffer) {
+  LogNormalShadowing m(std::make_unique<LogDistanceModel>(), 6.0, 99);
+  const double l1 = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{100, 0}, 1, 2);
+  const double l2 = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{100, 0}, 1, 3);
+  EXPECT_NE(l1, l2);
+}
+
+TEST(Shadowing, ZeroSigmaIsTransparent) {
+  LogNormalShadowing m(std::make_unique<LogDistanceModel>(), 0.0, 99);
+  LogDistanceModel plain;
+  const double a = m.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{123, 0}, 1, 2);
+  const double b = plain.rx_power_dbm(15.0, Vec2{0, 0}, Vec2{123, 0}, 1, 2);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// Property: every model decays monotonically with distance.
+class Monotonicity : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] std::unique_ptr<PropagationModel> model() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<FriisModel>();
+      case 1: return std::make_unique<LogDistanceModel>();
+      case 2: return std::make_unique<TwoRayGroundModel>();
+      default:
+        return std::make_unique<LogNormalShadowing>(
+            std::make_unique<LogDistanceModel>(), 4.0, 1);
+    }
+  }
+};
+
+TEST_P(Monotonicity, PowerDecaysWithDistance) {
+  const auto m = model();
+  double prev = 1e9;
+  for (double d = 1.0; d <= 2000.0; d *= 1.3) {
+    // Fixed ids: the shadowing offset is constant per link, so the
+    // distance trend must still be monotone.
+    const double rx = m->rx_power_dbm(15.0, Vec2{0, 0}, Vec2{d, 0}, 1, 2);
+    EXPECT_LT(rx, prev);
+    prev = rx;
+  }
+}
+
+TEST_P(Monotonicity, CoLocatedNodesAreFinite) {
+  const auto m = model();
+  const double rx = m->rx_power_dbm(15.0, Vec2{5, 5}, Vec2{5, 5}, 1, 2);
+  EXPECT_TRUE(std::isfinite(rx));
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, Monotonicity, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace wmn::phy

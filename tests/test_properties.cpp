@@ -1,0 +1,178 @@
+// Cross-cutting property tests: invariants that must hold for every
+// protocol and every seed, checked on a mid-size scenario via the full
+// public API. These are the "laws of the simulator" — accounting
+// consistency, boundedness, and determinism — as opposed to the
+// behaviour-specific tests in the per-module suites.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+
+namespace wmn::exp {
+namespace {
+
+struct Param {
+  core::Protocol protocol;
+  std::uint64_t seed;
+};
+
+class ProtocolLaws : public ::testing::TestWithParam<Param> {
+ protected:
+  static ScenarioConfig config(const Param& p) {
+    ScenarioConfig cfg;
+    cfg.n_nodes = 36;
+    cfg.area_width_m = 700.0;
+    cfg.area_height_m = 700.0;
+    cfg.traffic.n_flows = 5;
+    cfg.traffic.rate_pps = 5.0;
+    cfg.warmup = sim::Time::seconds(3.0);
+    cfg.traffic_time = sim::Time::seconds(12.0);
+    cfg.protocol = p.protocol;
+    cfg.seed = p.seed;
+    return cfg;
+  }
+};
+
+TEST_P(ProtocolLaws, AccountingInvariants) {
+  Scenario s(config(GetParam()));
+  s.run();
+  const RunMetrics m = s.metrics();
+
+  // Delivered packets cannot exceed offered packets.
+  EXPECT_LE(m.data_delivered, m.data_sent);
+  // Discoveries resolve exactly once.
+  std::uint64_t started = 0, resolved = 0;
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    const auto& c = s.agent(i).counters();
+    started += c.discovery_started;
+    resolved += c.discovery_succeeded + c.discovery_failed;
+    // A node never forwards or suppresses more first-copies than it saw.
+    EXPECT_LE(c.rreq_forwarded + c.rreq_suppressed, c.rreq_received);
+    // Data conservation per node: everything delivered here was
+    // destined here (no phantom deliveries).
+    EXPECT_LE(c.data_delivered, m.data_sent + c.data_originated);
+  }
+  // In-flight discoveries at cut-off may be unresolved; never negative.
+  EXPECT_LE(resolved, started);
+  EXPECT_LE(started - resolved, 10u);
+
+  // Ratios bounded.
+  EXPECT_GE(m.pdr, 0.0);
+  EXPECT_LE(m.pdr, 1.0);
+  EXPECT_GE(m.forwarding_jain, 0.0);
+  EXPECT_LE(m.forwarding_jain, 1.0 + 1e-12);
+  EXPECT_GE(m.forwarding_peak_to_mean, 1.0 - 1e-12);
+  EXPECT_GE(m.mean_busy_ratio, 0.0);
+  EXPECT_LE(m.mean_busy_ratio, 1.0);
+}
+
+TEST_P(ProtocolLaws, MacPhyAccountingConsistent) {
+  Scenario s(config(GetParam()));
+  s.run();
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    const auto& mc = s.node_mac(i).counters();
+    const auto& pc = s.node_phy(i).counters();
+    // Every MAC transmission (data + acks) hit the radio exactly once.
+    EXPECT_EQ(mc.tx_data_unicast + mc.tx_data_broadcast + mc.tx_acks,
+              pc.tx_frames);
+    // Retries are a subset of unicast transmissions.
+    EXPECT_LE(mc.retries, mc.tx_data_unicast);
+    // Deliveries + duplicates + overheard cannot exceed decoded frames.
+    EXPECT_LE(mc.rx_delivered + mc.rx_duplicates + mc.rx_overheard, pc.rx_ok);
+    // The cross-layer instruments stay in range.
+    EXPECT_GE(s.node_mac(i).busy_ratio(), 0.0);
+    EXPECT_LE(s.node_mac(i).busy_ratio(), 1.0);
+    EXPECT_GE(s.node_mac(i).retry_ratio(), 0.0);
+    EXPECT_LE(s.node_mac(i).retry_ratio(), 1.0);
+    EXPECT_GE(s.node_mac(i).queue_ratio(), 0.0);
+    EXPECT_LE(s.node_mac(i).queue_ratio(), 1.0);
+  }
+}
+
+TEST_P(ProtocolLaws, DeterministicReplay) {
+  Scenario a(config(GetParam()));
+  a.run();
+  Scenario b(config(GetParam()));
+  b.run();
+  EXPECT_EQ(a.metrics().sim_event_count, b.metrics().sim_event_count);
+  EXPECT_EQ(a.metrics().data_delivered, b.metrics().data_delivered);
+  EXPECT_EQ(a.metrics().control_tx, b.metrics().control_tx);
+  EXPECT_DOUBLE_EQ(a.metrics().mean_delay_ms, b.metrics().mean_delay_ms);
+}
+
+std::vector<Param> make_params() {
+  std::vector<Param> out;
+  for (core::Protocol p : core::all_protocols()) {
+    for (std::uint64_t seed : {11ull, 23ull}) out.push_back({p, seed});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAndSeeds, ProtocolLaws, ::testing::ValuesIn(make_params()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string n = core::protocol_name(info.param.protocol) + "_s" +
+                      std::to_string(info.param.seed);
+      for (char& ch : n) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return n;
+    });
+
+// CLNLR-specific law: every node's load indices stay in [0,1] for the
+// whole run, sampled mid-flight.
+TEST(ClnlrLaws, LoadIndicesBoundedThroughoutRun) {
+  ScenarioConfig cfg;
+  cfg.n_nodes = 36;
+  cfg.area_width_m = 700.0;
+  cfg.area_height_m = 700.0;
+  cfg.traffic.n_flows = 6;
+  cfg.traffic.rate_pps = 10.0;  // push into congestion
+  cfg.warmup = sim::Time::seconds(3.0);
+  cfg.traffic_time = sim::Time::seconds(12.0);
+  cfg.protocol = core::Protocol::kClnlr;
+  cfg.seed = 99;
+  Scenario s(cfg);
+  for (int t = 4; t <= 14; t += 2) {
+    s.simulator().schedule_at(sim::Time::seconds(static_cast<double>(t)), [&s] {
+      for (std::size_t i = 0; i < s.node_count(); ++i) {
+        const double own = s.agent(i).own_load();
+        const double nbhd = s.agent(i).neighbourhood_load();
+        EXPECT_GE(own, 0.0);
+        EXPECT_LE(own, 1.0);
+        EXPECT_GE(nbhd, 0.0);
+        EXPECT_LE(nbhd, 1.0);
+      }
+    });
+  }
+  s.run();
+}
+
+// Differential law: CLNLR's RREQ economy is never *worse* than blind
+// flooding by more than the rescue slack on identical scenarios.
+TEST(ClnlrLaws, DiscoveryEconomyVsFlooding) {
+  ScenarioConfig cfg;
+  cfg.n_nodes = 49;
+  cfg.area_width_m = 700.0;
+  cfg.area_height_m = 700.0;
+  cfg.traffic.n_flows = 8;
+  cfg.traffic.rate_pps = 8.0;
+  cfg.warmup = sim::Time::seconds(3.0);
+  cfg.traffic_time = sim::Time::seconds(15.0);
+  cfg.seed = 7;
+
+  cfg.protocol = core::Protocol::kAodvFlood;
+  Scenario flood(cfg);
+  flood.run();
+  cfg.protocol = core::Protocol::kClnlr;
+  Scenario clnlr(cfg);
+  clnlr.run();
+
+  const double flood_rpd = flood.metrics().rreq_per_discovery;
+  const double clnlr_rpd = clnlr.metrics().rreq_per_discovery;
+  EXPECT_GT(flood_rpd, 0.0);
+  // Dense loaded mesh: CLNLR must not storm harder per discovery.
+  EXPECT_LE(clnlr_rpd, flood_rpd * 1.1);
+}
+
+}  // namespace
+}  // namespace wmn::exp

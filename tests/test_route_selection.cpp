@@ -1,0 +1,65 @@
+#include "routing/route_selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmn::routing {
+namespace {
+
+TEST(FirstArrival, PrefersFewerHops) {
+  FirstArrivalSelection s;
+  EXPECT_TRUE(s.better({0.0, 2}, {0.0, 3}));
+  EXPECT_FALSE(s.better({0.0, 3}, {0.0, 2}));
+  EXPECT_FALSE(s.better({0.0, 3}, {0.0, 3}));
+}
+
+TEST(FirstArrival, NoReplyWaitAllowsIntermediate) {
+  FirstArrivalSelection s;
+  EXPECT_TRUE(s.reply_wait().is_zero());
+  EXPECT_TRUE(s.allow_intermediate_reply());
+}
+
+TEST(FirstArrival, ShouldReplaceFollowsBetter) {
+  FirstArrivalSelection s;
+  EXPECT_TRUE(s.should_replace({0.0, 5}, {0.0, 3}));
+  EXPECT_FALSE(s.should_replace({0.0, 3}, {0.0, 5}));
+}
+
+TEST(BestMetric, PrefersLowerMetric) {
+  BestMetricSelection s;
+  EXPECT_TRUE(s.better({1.0, 9}, {2.0, 3}));
+  EXPECT_FALSE(s.better({2.0, 3}, {1.0, 9}));
+}
+
+TEST(BestMetric, HopsBreakMetricTies) {
+  BestMetricSelection s;
+  EXPECT_TRUE(s.better({1.0, 3}, {1.0, 4}));
+  EXPECT_FALSE(s.better({1.0, 4}, {1.0, 3}));
+}
+
+TEST(BestMetric, WaitsAndDisallowsIntermediate) {
+  BestMetricSelection s(sim::Time::millis(50.0), 0.15);
+  EXPECT_EQ(s.reply_wait(), sim::Time::millis(50.0));
+  EXPECT_FALSE(s.allow_intermediate_reply());
+}
+
+TEST(BestMetric, HysteresisBlocksMarginalImprovement) {
+  BestMetricSelection s(sim::Time::millis(50.0), 0.15);
+  // 10% better: below the 15% hysteresis threshold.
+  EXPECT_FALSE(s.should_replace({1.00, 4}, {0.90, 4}));
+  // 20% better: replaces.
+  EXPECT_TRUE(s.should_replace({1.00, 4}, {0.80, 4}));
+}
+
+TEST(BestMetric, EqualLoadShorterPathReplaces) {
+  BestMetricSelection s;
+  EXPECT_TRUE(s.should_replace({1.0, 6}, {1.0, 4}));
+  EXPECT_FALSE(s.should_replace({1.0, 4}, {1.0, 6}));
+}
+
+TEST(BestMetric, WorseCandidateNeverReplaces) {
+  BestMetricSelection s;
+  EXPECT_FALSE(s.should_replace({1.0, 4}, {1.5, 3}));
+}
+
+}  // namespace
+}  // namespace wmn::routing

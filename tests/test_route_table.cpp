@@ -1,0 +1,123 @@
+#include "routing/route_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmn::routing {
+namespace {
+
+RouteEntry entry(std::uint32_t dest, std::uint32_t via, std::uint8_t hops,
+                 sim::Time expires, std::uint32_t seqno = 1) {
+  RouteEntry e;
+  e.dest = net::Address(dest);
+  e.next_hop = net::Address(via);
+  e.hop_count = hops;
+  e.dest_seqno = seqno;
+  e.valid_seqno = true;
+  e.state = RouteState::kValid;
+  e.expires = expires;
+  return e;
+}
+
+TEST(RouteTable, LookupFindsValidEntry) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  const RouteEntry* e = t.lookup(net::Address(5), sim::Time::seconds(1.0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->next_hop, net::Address(2));
+  EXPECT_EQ(e->hop_count, 3);
+}
+
+TEST(RouteTable, LookupMissesUnknownDest) {
+  RouteTable t;
+  EXPECT_EQ(t.lookup(net::Address(9), sim::Time::zero()), nullptr);
+}
+
+TEST(RouteTable, ExpiredEntryBecomesInvalidLazily) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  EXPECT_NE(t.lookup(net::Address(5), sim::Time::seconds(9.0)), nullptr);
+  EXPECT_EQ(t.lookup(net::Address(5), sim::Time::seconds(10.0)), nullptr);
+  // The dead entry still exists for its seqno.
+  ASSERT_NE(t.find(net::Address(5)), nullptr);
+  EXPECT_EQ(t.find(net::Address(5))->state, RouteState::kInvalid);
+}
+
+TEST(RouteTable, InvalidateBumpsSeqno) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0), 7));
+  const auto inv = t.invalidate(net::Address(5), sim::Time::seconds(1.0));
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(inv->dest_seqno, 8u);  // 7 + 1
+  EXPECT_EQ(t.lookup(net::Address(5), sim::Time::seconds(1.0)), nullptr);
+}
+
+TEST(RouteTable, InvalidateMissingOrInvalidReturnsNothing) {
+  RouteTable t;
+  EXPECT_FALSE(t.invalidate(net::Address(5), sim::Time::zero()).has_value());
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  (void)t.invalidate(net::Address(5), sim::Time::zero());
+  EXPECT_FALSE(t.invalidate(net::Address(5), sim::Time::zero()).has_value());
+}
+
+TEST(RouteTable, TouchExtendsLifetime) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.touch(net::Address(5), sim::Time::seconds(20.0));
+  EXPECT_NE(t.lookup(net::Address(5), sim::Time::seconds(15.0)), nullptr);
+}
+
+TEST(RouteTable, TouchNeverShortensLifetime) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.touch(net::Address(5), sim::Time::seconds(3.0));
+  EXPECT_NE(t.lookup(net::Address(5), sim::Time::seconds(9.0)), nullptr);
+}
+
+TEST(RouteTable, DestsViaFindsAllRoutesThroughHop) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.upsert(entry(6, 2, 4, sim::Time::seconds(10.0)));
+  t.upsert(entry(7, 3, 2, sim::Time::seconds(10.0)));
+  auto dests = t.dests_via(net::Address(2), sim::Time::seconds(1.0));
+  EXPECT_EQ(dests.size(), 2u);
+}
+
+TEST(RouteTable, DestsViaSkipsExpired) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(1.0)));
+  EXPECT_TRUE(t.dests_via(net::Address(2), sim::Time::seconds(2.0)).empty());
+}
+
+TEST(RouteTable, PrecursorsAccumulate) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.add_precursor(net::Address(5), net::Address(8));
+  t.add_precursor(net::Address(5), net::Address(9));
+  t.add_precursor(net::Address(5), net::Address(8));  // dup
+  EXPECT_EQ(t.find(net::Address(5))->precursors.size(), 2u);
+}
+
+TEST(RouteTable, PurgeRemovesLongDeadEntries) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(1.0)));
+  t.upsert(entry(6, 2, 3, sim::Time::seconds(100.0)));
+  // At t=2 the first entry expires; retention 10 s.
+  t.purge(sim::Time::seconds(2.0), sim::Time::seconds(10.0));
+  EXPECT_EQ(t.size(), 2u);  // freshly dead, still retained
+  t.purge(sim::Time::seconds(13.0), sim::Time::seconds(10.0));
+  EXPECT_EQ(t.size(), 1u);  // dead entry reclaimed
+  EXPECT_NE(t.find(net::Address(6)), nullptr);
+}
+
+TEST(RouteTable, UpsertOverwrites) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.upsert(entry(5, 4, 1, sim::Time::seconds(10.0)));
+  const RouteEntry* e = t.lookup(net::Address(5), sim::Time::zero());
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->next_hop, net::Address(4));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wmn::routing

@@ -1,0 +1,155 @@
+// RTS/CTS handshake and NAV (virtual carrier sense).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/dcf_mac.hpp"
+#include "mobility/mobility_model.hpp"
+#include "phy/channel.hpp"
+
+namespace wmn::mac {
+namespace {
+
+using mobility::ConstantPositionModel;
+using mobility::Vec2;
+
+struct RtsBed {
+  explicit RtsBed(std::vector<Vec2> positions, MacConfig mac_cfg,
+                  std::uint64_t seed = 1)
+      : sim(seed), channel(sim, std::make_unique<phy::LogDistanceModel>()) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const auto id = static_cast<std::uint32_t>(i);
+      mob.push_back(std::make_unique<ConstantPositionModel>(positions[i]));
+      phys.push_back(std::make_unique<phy::WifiPhy>(sim, phy::PhyConfig{}, id,
+                                                    mob.back().get()));
+      channel.attach(phys.back().get());
+      macs.push_back(std::make_unique<DcfMac>(sim, mac_cfg, net::Address(id),
+                                              *phys.back(), factory));
+      rx_counts.push_back(0);
+      macs.back()->set_rx_callback([this, i](net::Packet, net::Address) {
+        ++rx_counts[i];
+      });
+    }
+  }
+  net::Packet packet(std::uint32_t bytes) { return factory.make(bytes, sim.now()); }
+
+  sim::Simulator sim;
+  phy::WirelessChannel channel;
+  net::PacketFactory factory;
+  std::vector<std::unique_ptr<ConstantPositionModel>> mob;
+  std::vector<std::unique_ptr<phy::WifiPhy>> phys;
+  std::vector<std::unique_ptr<DcfMac>> macs;
+  std::vector<int> rx_counts;
+};
+
+MacConfig rts_on(std::uint32_t threshold = 100) {
+  MacConfig cfg;
+  cfg.rts_threshold_bytes = threshold;
+  return cfg;
+}
+
+TEST(RtsCts, HandshakeDeliversLargeFrame) {
+  RtsBed tb({{0, 0}, {150, 0}}, rts_on());
+  tb.sim.schedule(sim::Time::zero(),
+                  [&] { tb.macs[0]->enqueue(tb.packet(512), net::Address(1)); });
+  tb.sim.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(tb.rx_counts[1], 1);
+  EXPECT_EQ(tb.macs[0]->counters().tx_rts, 1u);
+  EXPECT_EQ(tb.macs[1]->counters().tx_cts, 1u);
+  EXPECT_EQ(tb.macs[1]->counters().tx_acks, 1u);
+  EXPECT_EQ(tb.macs[0]->counters().cts_timeouts, 0u);
+}
+
+TEST(RtsCts, SmallFramesSkipHandshake) {
+  RtsBed tb({{0, 0}, {150, 0}}, rts_on(/*threshold=*/400));
+  tb.sim.schedule(sim::Time::zero(),
+                  [&] { tb.macs[0]->enqueue(tb.packet(64), net::Address(1)); });
+  tb.sim.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(tb.rx_counts[1], 1);
+  EXPECT_EQ(tb.macs[0]->counters().tx_rts, 0u);
+  EXPECT_EQ(tb.macs[1]->counters().tx_cts, 0u);
+}
+
+TEST(RtsCts, BroadcastNeverUsesRts) {
+  RtsBed tb({{0, 0}, {150, 0}}, rts_on(/*threshold=*/1));
+  tb.sim.schedule(sim::Time::zero(), [&] {
+    tb.macs[0]->enqueue(tb.packet(512), net::Address::broadcast());
+  });
+  tb.sim.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(tb.rx_counts[1], 1);
+  EXPECT_EQ(tb.macs[0]->counters().tx_rts, 0u);
+}
+
+TEST(RtsCts, DefaultConfigNeverUsesRts) {
+  RtsBed tb({{0, 0}, {150, 0}}, MacConfig{});
+  tb.sim.schedule(sim::Time::zero(),
+                  [&] { tb.macs[0]->enqueue(tb.packet(1500), net::Address(1)); });
+  tb.sim.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(tb.rx_counts[1], 1);
+  EXPECT_EQ(tb.macs[0]->counters().tx_rts, 0u);
+}
+
+TEST(RtsCts, AbsentReceiverCausesCtsTimeoutsThenDrop) {
+  RtsBed tb({{0, 0}, {150, 0}}, rts_on());
+  bool failed = false;
+  tb.macs[0]->set_tx_failed_callback(
+      [&](net::Address, net::Packet) { failed = true; });
+  tb.sim.schedule(sim::Time::zero(),
+                  [&] { tb.macs[0]->enqueue(tb.packet(512), net::Address(42)); });
+  tb.sim.run_until(sim::Time::seconds(5.0));
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(tb.macs[0]->counters().cts_timeouts, 1u + MacConfig{}.retry_limit);
+  // The cheap RTS probes, not the 512-byte payload, burned the retries.
+  EXPECT_EQ(tb.macs[0]->counters().tx_data_unicast, 0u);
+}
+
+TEST(RtsCts, HiddenTerminalsResolvedByNav) {
+  // Classic geometry: 0 and 2 are hidden from each other, both send
+  // large frames to 1. With RTS/CTS, the CTS from node 1 silences the
+  // other contender (NAV), so data frames stop colliding.
+  RtsBed tb({{0, 0}, {245, 0}, {490, 0}}, rts_on());
+  tb.sim.schedule(sim::Time::zero(), [&] {
+    for (int i = 0; i < 15; ++i) {
+      tb.macs[0]->enqueue(tb.packet(512), net::Address(1));
+      tb.macs[2]->enqueue(tb.packet(512), net::Address(1));
+    }
+  });
+  tb.sim.run_until(sim::Time::seconds(30.0));
+  EXPECT_EQ(tb.rx_counts[1], 30);  // everything arrives
+  EXPECT_GT(tb.macs[1]->counters().tx_cts, 0u);
+}
+
+TEST(RtsCts, HandshakeReducesDataCollisionsVsBasicAccess) {
+  const std::vector<Vec2> hidden{{0, 0}, {245, 0}, {490, 0}};
+  auto run = [&](MacConfig cfg) {
+    RtsBed tb(hidden, cfg);
+    tb.sim.schedule(sim::Time::zero(), [&] {
+      for (int i = 0; i < 20; ++i) {
+        tb.macs[0]->enqueue(tb.packet(512), net::Address(1));
+        tb.macs[2]->enqueue(tb.packet(512), net::Address(1));
+      }
+    });
+    tb.sim.run_until(sim::Time::seconds(30.0));
+    // Retries measure how often the exchange had to be repeated.
+    return tb.macs[0]->counters().retries + tb.macs[2]->counters().retries;
+  };
+  const auto with_rts = run(rts_on());
+  const auto without = run(MacConfig{});
+  EXPECT_LT(with_rts, without);
+}
+
+TEST(RtsCts, ThirdPartyDefersDuringExchange) {
+  // Node 2 hears node 1's CTS and must hold its own traffic while the
+  // 0 <-> 1 exchange runs; its frame still gets through afterwards.
+  RtsBed tb({{0, 0}, {150, 0}, {300, 0}}, rts_on());
+  tb.sim.schedule(sim::Time::zero(), [&] {
+    tb.macs[0]->enqueue(tb.packet(512), net::Address(1));
+    tb.macs[2]->enqueue(tb.packet(512), net::Address(1));
+  });
+  tb.sim.run_until(sim::Time::seconds(2.0));
+  EXPECT_EQ(tb.rx_counts[1], 2);
+}
+
+}  // namespace
+}  // namespace wmn::mac

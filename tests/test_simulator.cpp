@@ -1,0 +1,129 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wmn::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), Time::zero());
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator s;
+  std::vector<double> times;
+  s.schedule(Time::seconds(1.0), [&] { times.push_back(s.now().to_seconds()); });
+  s.schedule(Time::seconds(2.5), [&] { times.push_back(s.now().to_seconds()); });
+  s.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(s.now(), Time::seconds(2.5));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.schedule(Time::seconds(1.0), chain);
+  };
+  s.schedule(Time::seconds(1.0), chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), Time::seconds(5.0));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  bool ran = false;
+  s.schedule(Time::seconds(1.0), [&] {
+    s.schedule(Time::seconds(-5.0), [&] {
+      ran = true;
+      EXPECT_EQ(s.now(), Time::seconds(1.0));
+    });
+  });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Time::seconds(1.0), [&] { ++fired; });
+  s.schedule(Time::seconds(10.0), [&] { ++fired; });
+  s.run_until(Time::seconds(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), Time::seconds(5.0));
+  // Continuing picks up the remaining event.
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsExactlyAtDeadlineExecute) {
+  Simulator s;
+  bool ran = false;
+  s.schedule(Time::seconds(5.0), [&] { ran = true; });
+  s.run_until(Time::seconds(5.0));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsDispatch) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(Time::seconds(1.0), [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(Time::seconds(2.0), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.stopped());
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule(Time::seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(s.pending(id));
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(Time::seconds(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(Simulator, MakeStreamIsDeterministicPerSeed) {
+  Simulator a(123);
+  Simulator b(123);
+  auto sa = a.make_stream(9);
+  auto sb = b.make_stream(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sa.bits(), sb.bits());
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.schedule(Time::seconds(1.0), [] {});
+  s.run_until(Time::seconds(30.0));
+  EXPECT_EQ(s.now(), Time::seconds(30.0));
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(Time::seconds(4.0), [&] {
+    ran = true;
+    EXPECT_EQ(s.now(), Time::seconds(4.0));
+  });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace wmn::sim

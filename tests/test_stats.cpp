@@ -1,0 +1,173 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/confidence.hpp"
+#include "stats/fairness.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace wmn::stats {
+namespace {
+
+TEST(Summary, MeanVarianceMinMax) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleValueHasZeroVariance) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 5.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, BinsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.bin_count(0), 10u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.5);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 0.6);
+}
+
+TEST(Histogram, UnderOverflowBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(0.5);
+  h.add(99.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+}
+
+TEST(Fairness, JainKnownValues) {
+  const double xs_even[] = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs_even), 1.0);
+  const double xs_one[] = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs_one), 0.25);  // 1/n
+  const double xs_mixed[] = {1.0, 2.0, 3.0};
+  // (6)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(jain_index(xs_mixed), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Fairness, JainDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Fairness, PeakToMean) {
+  const double xs[] = {1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(peak_to_mean(xs), 2.0);
+  const double even[] = {3.0, 3.0};
+  EXPECT_DOUBLE_EQ(peak_to_mean(even), 1.0);
+}
+
+TEST(Confidence, TCriticalValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(9), 2.262, 1e-3);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+}
+
+TEST(Confidence, KnownInterval) {
+  // n=4, mean 10, sd 2 => hw = 3.182 * 2 / 2 = 3.182.
+  const double xs[] = {8.0, 9.0, 11.0, 12.0};
+  const auto ci = mean_ci_95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+  EXPECT_NEAR(ci.half_width, 3.182 * std::sqrt(10.0 / 3.0) / 2.0, 1e-3);
+  EXPECT_LT(ci.lo(), ci.mean);
+  EXPECT_GT(ci.hi(), ci.mean);
+}
+
+TEST(Confidence, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_ci_95({}).mean, 0.0);
+  const double one[] = {5.0};
+  const auto ci = mean_ci_95(one);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22.5  |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace wmn::stats

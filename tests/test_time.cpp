@@ -1,0 +1,93 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wmn::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_FALSE(t.is_negative());
+}
+
+TEST(Time, NamedConstructorsAgree) {
+  EXPECT_EQ(Time::seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(Time::millis(1.0).ns(), 1'000'000);
+  EXPECT_EQ(Time::micros(1.0).ns(), 1'000);
+  EXPECT_EQ(Time::nanos(1).ns(), 1);
+  EXPECT_EQ(Time::seconds(2.5).ns(), 2'500'000'000);
+}
+
+TEST(Time, RoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::seconds(1e-9 * 0.4).ns(), 0);
+  EXPECT_EQ(Time::seconds(1e-9 * 0.6).ns(), 1);
+  EXPECT_EQ(Time::seconds(-1e-9 * 0.6).ns(), -1);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::seconds(3.0);
+  const Time b = Time::seconds(1.5);
+  EXPECT_EQ((a + b).to_seconds(), 4.5);
+  EXPECT_EQ((a - b).to_seconds(), 1.5);
+  EXPECT_EQ((b - a).to_seconds(), -1.5);
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_EQ((a * 2).to_seconds(), 6.0);
+  EXPECT_EQ((2 * a).to_seconds(), 6.0);
+  EXPECT_EQ((a / 3).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::seconds(1.0);
+  t += Time::seconds(2.0);
+  EXPECT_EQ(t, Time::seconds(3.0));
+  t -= Time::seconds(0.5);
+  EXPECT_EQ(t, Time::seconds(2.5));
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::millis(1.0), Time::millis(2.0));
+  EXPECT_GT(Time::seconds(1.0), Time::millis(999.0));
+  EXPECT_EQ(Time::micros(1000.0), Time::millis(1.0));
+  EXPECT_LE(Time::zero(), Time::zero());
+}
+
+TEST(Time, MaxDominatesEverything) {
+  EXPECT_GT(Time::max(), Time::seconds(1e9));
+  EXPECT_GT(Time::max(), Time::zero());
+}
+
+TEST(Time, ScaledFraction) {
+  EXPECT_EQ(Time::seconds(10.0).scaled(0.5), Time::seconds(5.0));
+  EXPECT_EQ(Time::seconds(10.0).scaled(0.0), Time::zero());
+  EXPECT_EQ(Time::seconds(1.0).scaled(1.25), Time::millis(1250.0));
+}
+
+TEST(Time, UnitAccessors) {
+  const Time t = Time::millis(1500.0);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.to_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.to_micros(), 1'500'000.0);
+}
+
+TEST(Time, StrRendersSeconds) {
+  EXPECT_EQ(Time::seconds(1.0).str().back(), 's');
+}
+
+// Exactness property: integer-nanosecond arithmetic never drifts.
+class TimeExactness : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TimeExactness, RepeatedAdditionIsExact) {
+  const std::int64_t step_ns = GetParam();
+  Time t;
+  for (int i = 0; i < 10000; ++i) t += Time::nanos(step_ns);
+  EXPECT_EQ(t.ns(), step_ns * 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, TimeExactness,
+                         ::testing::Values(1, 3, 7, 333, 999'999'937));
+
+}  // namespace
+}  // namespace wmn::sim

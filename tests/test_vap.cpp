@@ -1,0 +1,100 @@
+// Velocity-Aware Probabilistic (VAP) rebroadcast policy.
+#include "core/vap_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mobility/mobility_model.hpp"
+
+namespace wmn::core {
+namespace {
+
+using mobility::ConstantPositionModel;
+using mobility::ConstantVelocityModel;
+using mobility::Vec2;
+using routing::RebroadcastAction;
+using routing::RebroadcastContext;
+
+RebroadcastContext ctx(std::uint8_t hops = 5, std::size_t degree = 10) {
+  RebroadcastContext c;
+  c.hop_count = hops;
+  c.neighbor_count = degree;
+  return c;
+}
+
+TEST(VapPolicy, ProbabilityFormulaMonotoneInSpeed) {
+  sim::Simulator s;
+  ConstantPositionModel still(Vec2{0, 0});
+  VapRebroadcastPolicy p(s, &still);
+  double prev = 2.0;
+  for (double v = 0.0; v <= 40.0; v += 2.5) {
+    const double prob = p.forward_probability(v);
+    EXPECT_LE(prob, prev);
+    EXPECT_GE(prob, VapPolicyParams{}.p_min);
+    EXPECT_LE(prob, 1.0);
+    prev = prob;
+  }
+  EXPECT_DOUBLE_EQ(p.forward_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.forward_probability(1000.0), VapPolicyParams{}.p_min);
+}
+
+TEST(VapPolicy, StationaryNodeAlwaysForwards) {
+  sim::Simulator s;
+  ConstantPositionModel still(Vec2{0, 0});
+  VapRebroadcastPolicy p(s, &still);
+  sim::RngStream rng(1, 1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(p.decide(ctx(), rng).action, RebroadcastAction::kForward);
+  }
+}
+
+TEST(VapPolicy, FastMoverForwardsNearFloor) {
+  sim::Simulator s;
+  VapPolicyParams params;
+  params.p_min = 0.2;
+  params.v_ref_mps = 20.0;
+  ConstantVelocityModel fast(Vec2{0, 0}, Vec2{30.0, 0.0}, sim::Time::zero());
+  VapRebroadcastPolicy p(s, &fast, params);
+  sim::RngStream rng(1, 2);
+  int fwd = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (p.decide(ctx(), rng).action == RebroadcastAction::kForward) ++fwd;
+  }
+  EXPECT_NEAR(static_cast<double>(fwd) / n, 0.2, 0.02);
+}
+
+TEST(VapPolicy, ModerateSpeedIsProportional) {
+  sim::Simulator s;
+  ConstantVelocityModel mid(Vec2{0, 0}, Vec2{10.0, 0.0}, sim::Time::zero());
+  VapRebroadcastPolicy p(s, &mid);  // v_ref 20 -> p = 0.5
+  sim::RngStream rng(1, 3);
+  int fwd = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (p.decide(ctx(), rng).action == RebroadcastAction::kForward) ++fwd;
+  }
+  EXPECT_NEAR(static_cast<double>(fwd) / n, 0.5, 0.02);
+}
+
+TEST(VapPolicy, GuardsOverrideSpeed) {
+  sim::Simulator s;
+  ConstantVelocityModel fast(Vec2{0, 0}, Vec2{100.0, 0.0}, sim::Time::zero());
+  VapRebroadcastPolicy p(s, &fast);
+  sim::RngStream rng(1, 4);
+  for (int i = 0; i < 100; ++i) {
+    // First hop always forwards.
+    EXPECT_EQ(p.decide(ctx(0, 10), rng).action, RebroadcastAction::kForward);
+    // Sparse neighbourhood always forwards.
+    EXPECT_EQ(p.decide(ctx(5, 2), rng).action, RebroadcastAction::kForward);
+  }
+}
+
+TEST(VapPolicy, NameIsStable) {
+  sim::Simulator s;
+  ConstantPositionModel still(Vec2{0, 0});
+  VapRebroadcastPolicy p(s, &still);
+  EXPECT_EQ(p.name(), "vap");
+}
+
+}  // namespace
+}  // namespace wmn::core
