@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_analytic.dir/bench_a1_analytic.cpp.o"
+  "CMakeFiles/bench_a1_analytic.dir/bench_a1_analytic.cpp.o.d"
+  "bench_a1_analytic"
+  "bench_a1_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_overhead_nodes.dir/bench_f1_overhead_nodes.cpp.o"
+  "CMakeFiles/bench_f1_overhead_nodes.dir/bench_f1_overhead_nodes.cpp.o.d"
+  "bench_f1_overhead_nodes"
+  "bench_f1_overhead_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_overhead_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

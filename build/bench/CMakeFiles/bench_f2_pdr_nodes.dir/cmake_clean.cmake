@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_pdr_nodes.dir/bench_f2_pdr_nodes.cpp.o"
+  "CMakeFiles/bench_f2_pdr_nodes.dir/bench_f2_pdr_nodes.cpp.o.d"
+  "bench_f2_pdr_nodes"
+  "bench_f2_pdr_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_pdr_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

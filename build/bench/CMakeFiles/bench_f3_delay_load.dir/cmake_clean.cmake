@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_delay_load.dir/bench_f3_delay_load.cpp.o"
+  "CMakeFiles/bench_f3_delay_load.dir/bench_f3_delay_load.cpp.o.d"
+  "bench_f3_delay_load"
+  "bench_f3_delay_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_delay_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

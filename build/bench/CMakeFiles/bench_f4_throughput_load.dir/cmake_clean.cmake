@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_throughput_load.dir/bench_f4_throughput_load.cpp.o"
+  "CMakeFiles/bench_f4_throughput_load.dir/bench_f4_throughput_load.cpp.o.d"
+  "bench_f4_throughput_load"
+  "bench_f4_throughput_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_throughput_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_pdr_flows.dir/bench_f5_pdr_flows.cpp.o"
+  "CMakeFiles/bench_f5_pdr_flows.dir/bench_f5_pdr_flows.cpp.o.d"
+  "bench_f5_pdr_flows"
+  "bench_f5_pdr_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_pdr_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_mobility.dir/bench_f7_mobility.cpp.o"
+  "CMakeFiles/bench_f7_mobility.dir/bench_f7_mobility.cpp.o.d"
+  "bench_f7_mobility"
+  "bench_f7_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7b_vap.dir/bench_f7b_vap.cpp.o"
+  "CMakeFiles/bench_f7b_vap.dir/bench_f7b_vap.cpp.o.d"
+  "bench_f7b_vap"
+  "bench_f7b_vap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7b_vap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_sensitivity.dir/bench_t4_sensitivity.cpp.o"
+  "CMakeFiles/bench_t4_sensitivity.dir/bench_t4_sensitivity.cpp.o.d"
+  "bench_t4_sensitivity"
+  "bench_t4_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_rts.dir/bench_t5_rts.cpp.o"
+  "CMakeFiles/bench_t5_rts.dir/bench_t5_rts.cpp.o.d"
+  "bench_t5_rts"
+  "bench_t5_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

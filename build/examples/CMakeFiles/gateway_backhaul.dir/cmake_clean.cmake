@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_backhaul.dir/gateway_backhaul.cpp.o"
+  "CMakeFiles/gateway_backhaul.dir/gateway_backhaul.cpp.o.d"
+  "gateway_backhaul"
+  "gateway_backhaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_backhaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_clients.dir/mobile_clients.cpp.o"
+  "CMakeFiles/mobile_clients.dir/mobile_clients.cpp.o.d"
+  "mobile_clients"
+  "mobile_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

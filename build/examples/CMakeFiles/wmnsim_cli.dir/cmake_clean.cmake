@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmnsim_cli.dir/wmnsim_cli.cpp.o"
+  "CMakeFiles/wmnsim_cli.dir/wmnsim_cli.cpp.o.d"
+  "wmnsim_cli"
+  "wmnsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmnsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_core.dir/clnlr_policy.cpp.o"
+  "CMakeFiles/wmn_core.dir/clnlr_policy.cpp.o.d"
+  "CMakeFiles/wmn_core.dir/node_load_index.cpp.o"
+  "CMakeFiles/wmn_core.dir/node_load_index.cpp.o.d"
+  "CMakeFiles/wmn_core.dir/protocols.cpp.o"
+  "CMakeFiles/wmn_core.dir/protocols.cpp.o.d"
+  "CMakeFiles/wmn_core.dir/vap_policy.cpp.o"
+  "CMakeFiles/wmn_core.dir/vap_policy.cpp.o.d"
+  "libwmn_core.a"
+  "libwmn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_exp.dir/scenario.cpp.o"
+  "CMakeFiles/wmn_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/wmn_exp.dir/sweep.cpp.o"
+  "CMakeFiles/wmn_exp.dir/sweep.cpp.o.d"
+  "CMakeFiles/wmn_exp.dir/timeseries.cpp.o"
+  "CMakeFiles/wmn_exp.dir/timeseries.cpp.o.d"
+  "libwmn_exp.a"
+  "libwmn_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

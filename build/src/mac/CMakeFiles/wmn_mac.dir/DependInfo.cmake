@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/dcf_mac.cpp" "src/mac/CMakeFiles/wmn_mac.dir/dcf_mac.cpp.o" "gcc" "src/mac/CMakeFiles/wmn_mac.dir/dcf_mac.cpp.o.d"
+  "/root/repo/src/mac/load_monitor.cpp" "src/mac/CMakeFiles/wmn_mac.dir/load_monitor.cpp.o" "gcc" "src/mac/CMakeFiles/wmn_mac.dir/load_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wmn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wmn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wmn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wmn_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

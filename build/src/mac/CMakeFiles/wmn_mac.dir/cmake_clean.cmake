@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_mac.dir/dcf_mac.cpp.o"
+  "CMakeFiles/wmn_mac.dir/dcf_mac.cpp.o.d"
+  "CMakeFiles/wmn_mac.dir/load_monitor.cpp.o"
+  "CMakeFiles/wmn_mac.dir/load_monitor.cpp.o.d"
+  "libwmn_mac.a"
+  "libwmn_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_mobility.dir/mobility_model.cpp.o"
+  "CMakeFiles/wmn_mobility.dir/mobility_model.cpp.o.d"
+  "CMakeFiles/wmn_mobility.dir/placement.cpp.o"
+  "CMakeFiles/wmn_mobility.dir/placement.cpp.o.d"
+  "libwmn_mobility.a"
+  "libwmn_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_net.dir/packet.cpp.o"
+  "CMakeFiles/wmn_net.dir/packet.cpp.o.d"
+  "libwmn_net.a"
+  "libwmn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

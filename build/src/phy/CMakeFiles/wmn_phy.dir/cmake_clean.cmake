@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_phy.dir/channel.cpp.o"
+  "CMakeFiles/wmn_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/wmn_phy.dir/propagation.cpp.o"
+  "CMakeFiles/wmn_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/wmn_phy.dir/wifi_phy.cpp.o"
+  "CMakeFiles/wmn_phy.dir/wifi_phy.cpp.o.d"
+  "libwmn_phy.a"
+  "libwmn_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

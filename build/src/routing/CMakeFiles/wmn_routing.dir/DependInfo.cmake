@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/aodv.cpp" "src/routing/CMakeFiles/wmn_routing.dir/aodv.cpp.o" "gcc" "src/routing/CMakeFiles/wmn_routing.dir/aodv.cpp.o.d"
+  "/root/repo/src/routing/neighbor_table.cpp" "src/routing/CMakeFiles/wmn_routing.dir/neighbor_table.cpp.o" "gcc" "src/routing/CMakeFiles/wmn_routing.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/routing/rebroadcast_policy.cpp" "src/routing/CMakeFiles/wmn_routing.dir/rebroadcast_policy.cpp.o" "gcc" "src/routing/CMakeFiles/wmn_routing.dir/rebroadcast_policy.cpp.o.d"
+  "/root/repo/src/routing/route_selection.cpp" "src/routing/CMakeFiles/wmn_routing.dir/route_selection.cpp.o" "gcc" "src/routing/CMakeFiles/wmn_routing.dir/route_selection.cpp.o.d"
+  "/root/repo/src/routing/route_table.cpp" "src/routing/CMakeFiles/wmn_routing.dir/route_table.cpp.o" "gcc" "src/routing/CMakeFiles/wmn_routing.dir/route_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wmn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wmn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wmn_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wmn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wmn_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_routing.dir/aodv.cpp.o"
+  "CMakeFiles/wmn_routing.dir/aodv.cpp.o.d"
+  "CMakeFiles/wmn_routing.dir/neighbor_table.cpp.o"
+  "CMakeFiles/wmn_routing.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/wmn_routing.dir/rebroadcast_policy.cpp.o"
+  "CMakeFiles/wmn_routing.dir/rebroadcast_policy.cpp.o.d"
+  "CMakeFiles/wmn_routing.dir/route_selection.cpp.o"
+  "CMakeFiles/wmn_routing.dir/route_selection.cpp.o.d"
+  "CMakeFiles/wmn_routing.dir/route_table.cpp.o"
+  "CMakeFiles/wmn_routing.dir/route_table.cpp.o.d"
+  "libwmn_routing.a"
+  "libwmn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwmn_routing.a"
+)

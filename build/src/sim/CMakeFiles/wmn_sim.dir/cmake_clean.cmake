@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_sim.dir/logging.cpp.o"
+  "CMakeFiles/wmn_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/wmn_sim.dir/rng.cpp.o"
+  "CMakeFiles/wmn_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/wmn_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/wmn_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wmn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wmn_sim.dir/simulator.cpp.o.d"
+  "libwmn_sim.a"
+  "libwmn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

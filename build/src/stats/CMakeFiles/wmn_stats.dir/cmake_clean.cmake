@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_stats.dir/confidence.cpp.o"
+  "CMakeFiles/wmn_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/wmn_stats.dir/dcf_model.cpp.o"
+  "CMakeFiles/wmn_stats.dir/dcf_model.cpp.o.d"
+  "CMakeFiles/wmn_stats.dir/fairness.cpp.o"
+  "CMakeFiles/wmn_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/wmn_stats.dir/histogram.cpp.o"
+  "CMakeFiles/wmn_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/wmn_stats.dir/summary.cpp.o"
+  "CMakeFiles/wmn_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/wmn_stats.dir/table.cpp.o"
+  "CMakeFiles/wmn_stats.dir/table.cpp.o.d"
+  "libwmn_stats.a"
+  "libwmn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/cbr_source.cpp" "src/traffic/CMakeFiles/wmn_traffic.dir/cbr_source.cpp.o" "gcc" "src/traffic/CMakeFiles/wmn_traffic.dir/cbr_source.cpp.o.d"
+  "/root/repo/src/traffic/flow_builder.cpp" "src/traffic/CMakeFiles/wmn_traffic.dir/flow_builder.cpp.o" "gcc" "src/traffic/CMakeFiles/wmn_traffic.dir/flow_builder.cpp.o.d"
+  "/root/repo/src/traffic/flow_registry.cpp" "src/traffic/CMakeFiles/wmn_traffic.dir/flow_registry.cpp.o" "gcc" "src/traffic/CMakeFiles/wmn_traffic.dir/flow_registry.cpp.o.d"
+  "/root/repo/src/traffic/packet_sink.cpp" "src/traffic/CMakeFiles/wmn_traffic.dir/packet_sink.cpp.o" "gcc" "src/traffic/CMakeFiles/wmn_traffic.dir/packet_sink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/wmn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wmn_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wmn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wmn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wmn_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmn_traffic.dir/cbr_source.cpp.o"
+  "CMakeFiles/wmn_traffic.dir/cbr_source.cpp.o.d"
+  "CMakeFiles/wmn_traffic.dir/flow_builder.cpp.o"
+  "CMakeFiles/wmn_traffic.dir/flow_builder.cpp.o.d"
+  "CMakeFiles/wmn_traffic.dir/flow_registry.cpp.o"
+  "CMakeFiles/wmn_traffic.dir/flow_registry.cpp.o.d"
+  "CMakeFiles/wmn_traffic.dir/packet_sink.cpp.o"
+  "CMakeFiles/wmn_traffic.dir/packet_sink.cpp.o.d"
+  "libwmn_traffic.a"
+  "libwmn_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmn_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clnlr.dir/test_clnlr.cpp.o"
+  "CMakeFiles/test_clnlr.dir/test_clnlr.cpp.o.d"
+  "test_clnlr"
+  "test_clnlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clnlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

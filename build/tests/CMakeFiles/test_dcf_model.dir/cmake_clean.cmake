@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcf_model.dir/test_dcf_model.cpp.o"
+  "CMakeFiles/test_dcf_model.dir/test_dcf_model.cpp.o.d"
+  "test_dcf_model"
+  "test_dcf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/wmn_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wmn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/wmn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wmn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wmn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wmn_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wmn_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wmn_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wmn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vap.dir/test_vap.cpp.o"
+  "CMakeFiles/test_vap.dir/test_vap.cpp.o.d"
+  "test_vap"
+  "test_vap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_vap.
+# This may be replaced when dependencies are built.
