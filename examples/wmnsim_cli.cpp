@@ -3,7 +3,7 @@
 // Run any mesh scenario from flags, print the metrics table, and
 // optionally export per-flow and time-series CSVs:
 //
-//   wmnsim_cli --nodes 100 --flows 10 --rate 6 --protocol clnlr \
+//   wmnsim_cli --nodes 100 --flows 10 --rate 6 --protocol clnlr
 //              --seconds 30 --seed 42 --timeseries run.csv
 //
 // Flags (all optional):

@@ -1,15 +1,17 @@
 #include "core/node_load_index.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.hpp"
 
 namespace wmn::core {
 
 NodeLoadIndex::NodeLoadIndex(sim::Simulator& simulator,
                              const LoadIndexParams& params, mac::DcfMac& mac)
     : sim_(simulator), params_(params), mac_(mac) {
-  assert(params_.weight_queue >= 0 && params_.weight_busy >= 0 &&
-         params_.weight_retry >= 0);
+  WMN_CHECK(params_.weight_queue >= 0 && params_.weight_busy >= 0 &&
+                params_.weight_retry >= 0,
+            "load-index weights must be non-negative");
   timer_ = sim_.schedule(params_.queue_sample_interval, [this] { sample_queue(); });
 }
 

@@ -1,6 +1,7 @@
 #include "core/protocols.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
+
 
 namespace wmn::core {
 
@@ -73,7 +74,7 @@ std::unique_ptr<routing::AodvAgent> make_agent(Protocol protocol,
       load = std::make_unique<routing::ZeroLoadSource>();
       break;
     case Protocol::kAodvVap:
-      assert(mobility != nullptr && "kAodvVap requires the mobility model");
+      WMN_CHECK_NOTNULL(mobility, "kAodvVap requires the mobility model");
       rebroadcast =
           std::make_unique<VapRebroadcastPolicy>(simulator, mobility, options.vap);
       selection = std::make_unique<routing::FirstArrivalSelection>();
@@ -105,7 +106,8 @@ std::unique_ptr<routing::AodvAgent> make_agent(Protocol protocol,
       load = make_load_index();
       break;
   }
-  assert(rebroadcast && selection && load);
+  WMN_CHECK(rebroadcast && selection && load,
+            "every protocol must wire all three policies");
   return std::make_unique<routing::AodvAgent>(
       simulator, cfg, self, mac, factory, std::move(rebroadcast),
       std::move(selection), std::move(load));

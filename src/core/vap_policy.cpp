@@ -1,7 +1,8 @@
 #include "core/vap_policy.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.hpp"
 
 namespace wmn::core {
 
@@ -12,7 +13,7 @@ double VapRebroadcastPolicy::forward_probability(double speed_mps) const {
 
 routing::RebroadcastDecision VapRebroadcastPolicy::decide(
     const routing::RebroadcastContext& ctx, sim::RngStream& rng) {
-  assert(mobility_ != nullptr && "VAP needs the node's mobility model");
+  WMN_CHECK_NOTNULL(mobility_, "VAP needs the node's mobility model");
   const sim::Time jitter = sim::Time::nanos(static_cast<std::int64_t>(
       rng.uniform01() * static_cast<double>(params_.max_jitter.ns())));
 

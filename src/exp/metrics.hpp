@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fingerprint.hpp"
+
 namespace wmn::exp {
 
 struct RunMetrics {
@@ -63,6 +65,50 @@ struct RunMetrics {
   std::uint64_t seed = 0;
   double sim_event_count = 0.0;
   double wall_seconds = 0.0;
+
+  // Invariant violations observed during this run under
+  // core::CheckPolicy::kLogAndCount (always 0 under kAbort, which
+  // terminates instead). Nonzero means the run's numbers are suspect.
+  std::uint64_t check_violations = 0;
 };
+
+// Digest of everything a run produced, for the determinism contract:
+// same config + same seed must yield the same digest, bit for bit.
+// Wall-clock time and the violation counter are deliberately excluded
+// (host-dependent, respectively global-state-dependent).
+[[nodiscard]] inline std::uint64_t fingerprint(const RunMetrics& m) {
+  sim::Fingerprint fp;
+  fp.mix(m.seed);
+  fp.mix(m.sim_event_count);
+  fp.mix(m.data_sent);
+  fp.mix(m.data_delivered);
+  fp.mix(m.pdr);
+  fp.mix(m.mean_delay_ms);
+  fp.mix(m.mean_jitter_ms);
+  fp.mix(m.throughput_kbps);
+  fp.mix(m.rreq_tx);
+  fp.mix(m.rrep_tx);
+  fp.mix(m.rerr_tx);
+  fp.mix(m.hello_tx);
+  fp.mix(m.control_tx);
+  fp.mix(m.rreq_suppressed);
+  fp.mix(m.discoveries);
+  fp.mix(m.discoveries_failed);
+  fp.mix(m.nrl);
+  fp.mix(m.mac_queue_drops);
+  fp.mix(m.mac_retry_drops);
+  fp.mix(m.mac_retries);
+  fp.mix(m.phy_collisions);
+  fp.mix(m.mean_busy_ratio);
+  fp.mix(m.forwarding_active_nodes);
+  fp.mix(m.forwarding_jain);
+  fp.mix(m.forwarding_peak_to_mean);
+  fp.mix(m.total_energy_j);
+  fp.mix(m.energy_mj_per_kbit);
+  fp.mix(m.avg_path_hops);
+  fp.mix(static_cast<std::uint64_t>(m.per_node_forwarded.size()));
+  for (const double f : m.per_node_forwarded) fp.mix(f);
+  return fp.digest();
+}
 
 }  // namespace wmn::exp

@@ -1,8 +1,9 @@
 #include "exp/scenario.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
+
+#include "core/check.hpp"
 #include <set>
 
 #include "mobility/placement.hpp"
@@ -17,7 +18,7 @@ constexpr std::uint64_t kMobilitySalt = 0x0B11'0000'0000'0000ULL;
 }  // namespace
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
-  assert(cfg_.n_nodes >= 2);
+  WMN_CHECK_GE(cfg_.n_nodes, std::size_t{2}, "a mesh needs at least two nodes");
   std::unique_ptr<phy::PropagationModel> prop =
       std::make_unique<phy::LogDistanceModel>();
   if (cfg_.shadowing_sigma_db > 0.0) {
@@ -168,6 +169,7 @@ void Scenario::build_traffic() {
 }
 
 void Scenario::run() {
+  check_violations_before_ = core::check_violations();
   const auto t0 = std::chrono::steady_clock::now();
   sim_.run_until(cfg_.warmup + cfg_.traffic_time + cfg_.drain);
   const auto t1 = std::chrono::steady_clock::now();
@@ -176,11 +178,12 @@ void Scenario::run() {
 }
 
 RunMetrics Scenario::metrics() const {
-  assert(ran_ && "metrics() before run()");
+  WMN_CHECK(ran_, "metrics() before run()");
   RunMetrics m;
   m.seed = cfg_.seed;
   m.wall_seconds = wall_seconds_;
   m.sim_event_count = static_cast<double>(sim_.events_executed());
+  m.check_violations = core::check_violations() - check_violations_before_;
 
   m.data_sent = registry_.total_sent();
   m.data_delivered = registry_.total_delivered();

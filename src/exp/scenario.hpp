@@ -119,6 +119,9 @@ class Scenario {
   std::vector<std::unique_ptr<traffic::PoissonOnOffSource>> onoff_sources_;
   bool ran_ = false;
   double wall_seconds_ = 0.0;
+  // Snapshot of the global invariant-violation counter at run() start;
+  // metrics() reports the per-run delta.
+  std::uint64_t check_violations_before_ = 0;
 };
 
 }  // namespace wmn::exp

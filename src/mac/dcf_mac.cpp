@@ -1,8 +1,9 @@
 #include "mac/dcf_mac.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace wmn::mac {
 
@@ -42,7 +43,7 @@ bool DcfMac::enqueue(net::Packet packet, net::Address dst) {
 }
 
 void DcfMac::start_access(bool new_backoff) {
-  assert(current_.has_value());
+  WMN_CHECK(current_.has_value(), "channel access without a frame to send");
   state_ = TxState::kAccess;
   if (new_backoff) {
     backoff_slots_ = static_cast<std::uint32_t>(rng_.uniform_u64(0, cw_));
@@ -110,7 +111,11 @@ void DcfMac::on_nav_expired() {
 }
 
 void DcfMac::transmit_current() {
-  assert(current_.has_value());
+  WMN_CHECK(current_.has_value(), "transmit without a frame to send");
+  // DCF legality: data/RTS transmissions come only out of the access
+  // countdown; ACK/CTS responses bypass this path entirely.
+  WMN_CHECK(state_ == TxState::kAccess,
+            "transmit_current outside the access procedure");
   if (!phy_.can_transmit()) {
     // Raced with an arrival below the CCA threshold that locked the
     // radio at this instant; behave as if the medium were busy.
@@ -221,7 +226,9 @@ void DcfMac::transmit_data_after_cts() {
 }
 
 void DcfMac::finish_current(bool success) {
-  assert(current_.has_value());
+  WMN_CHECK(current_.has_value(), "finishing a frame that was never started");
+  WMN_CHECK(state_ != TxState::kIdle,
+            "finish_current from idle: double completion");
   sim_.cancel(ack_timer_);
   sim_.cancel(difs_timer_);
   sim_.cancel(backoff_timer_);

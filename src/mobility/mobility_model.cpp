@@ -1,7 +1,8 @@
 #include "mobility/mobility_model.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.hpp"
 
 namespace wmn::mobility {
 
@@ -15,7 +16,9 @@ RandomWaypointModel::RandomWaypointModel(sim::Simulator& simulator,
       leg_end_(initial),
       leg_t0_(simulator.now()),
       leg_t1_(simulator.now()) {
-  assert(cfg_.min_speed_mps > 0.0 && cfg_.max_speed_mps >= cfg_.min_speed_mps);
+  WMN_CHECK(cfg_.min_speed_mps > 0.0 &&
+                cfg_.max_speed_mps >= cfg_.min_speed_mps,
+            "waypoint speed range must be positive and ordered");
   // Start with an initial pause so all nodes do not move in lockstep.
   begin_pause();
 }

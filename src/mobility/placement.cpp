@@ -1,13 +1,14 @@
 #include "mobility/placement.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace wmn::mobility {
 
 std::vector<Vec2> grid_placement(std::size_t n, double width_m, double height_m) {
-  assert(n > 0);
+  WMN_CHECK_GT(n, std::size_t{0}, "placement of zero nodes");
   const auto cols =
       static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
   const std::size_t rows = (n + cols - 1) / cols;

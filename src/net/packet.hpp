@@ -15,13 +15,13 @@
 // frame sizes.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <typeindex>
 #include <utility>
 #include <vector>
 
+#include "core/check.hpp"
 #include "sim/time.hpp"
 
 namespace wmn::net {
@@ -66,9 +66,9 @@ class Packet {
   // Read the top-of-stack header, which must be a T.
   template <Header T>
   [[nodiscard]] const T& peek() const {
-    assert(!stack_.empty() && "peek on empty header stack");
-    assert(stack_.back().type == std::type_index(typeid(T)) &&
-           "header stack type mismatch");
+    WMN_CHECK(!stack_.empty(), "peek on empty header stack");
+    WMN_CHECK(stack_.back().type == std::type_index(typeid(T)),
+              "header stack type mismatch");
     return *static_cast<const T*>(stack_.back().data.get());
   }
 

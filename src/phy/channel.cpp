@@ -1,17 +1,17 @@
 #include "phy/channel.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
 
 namespace wmn::phy {
 
 WirelessChannel::WirelessChannel(sim::Simulator& simulator,
                                  std::unique_ptr<PropagationModel> propagation)
     : sim_(simulator), propagation_(std::move(propagation)) {
-  assert(propagation_ != nullptr);
+  WMN_CHECK_NOTNULL(propagation_, "channel needs a propagation model");
 }
 
 void WirelessChannel::attach(WifiPhy* phy) {
-  assert(phy != nullptr);
+  WMN_CHECK_NOTNULL(phy, "attach(nullptr)");
   radios_.push_back(phy);
   phy->attach(this);
 }

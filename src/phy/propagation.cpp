@@ -1,10 +1,10 @@
 #include "phy/propagation.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
 
+#include "core/check.hpp"
 #include "phy/units.hpp"
 #include "sim/rng.hpp"
 
@@ -22,7 +22,7 @@ double safe_distance(mobility::Vec2 a, mobility::Vec2 b) {
 
 FriisModel::FriisModel(double frequency_hz, double system_loss_db)
     : frequency_hz_(frequency_hz), system_loss_db_(system_loss_db) {
-  assert(frequency_hz > 0.0);
+  WMN_CHECK_GT(frequency_hz, 0.0, "carrier frequency must be positive");
 }
 
 double FriisModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
@@ -42,7 +42,8 @@ LogDistanceModel::LogDistanceModel(double exponent, double reference_distance_m,
     : exponent_(exponent),
       reference_distance_m_(reference_distance_m),
       reference_loss_db_(reference_loss_db) {
-  assert(exponent > 0.0 && reference_distance_m > 0.0);
+  WMN_CHECK(exponent > 0.0 && reference_distance_m > 0.0,
+            "log-distance model needs positive exponent and reference");
 }
 
 double LogDistanceModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
@@ -60,7 +61,7 @@ TwoRayGroundModel::TwoRayGroundModel(double frequency_hz, double antenna_height_
     : friis_(frequency_hz, 0.0),
       frequency_hz_(frequency_hz),
       antenna_height_m_(antenna_height_m) {
-  assert(antenna_height_m > 0.0);
+  WMN_CHECK_GT(antenna_height_m, 0.0, "antenna height must be positive");
 }
 
 double TwoRayGroundModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
@@ -84,7 +85,8 @@ double TwoRayGroundModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_po
 LogNormalShadowing::LogNormalShadowing(std::unique_ptr<PropagationModel> inner,
                                        double sigma_db, std::uint64_t seed)
     : inner_(std::move(inner)), sigma_db_(sigma_db), seed_(seed) {
-  assert(inner_ != nullptr && sigma_db >= 0.0);
+  WMN_CHECK(inner_ != nullptr && sigma_db >= 0.0,
+            "shadowing wraps an inner model with non-negative sigma");
 }
 
 double LogNormalShadowing::link_offset_db(std::uint32_t a, std::uint32_t b) const {

@@ -1,9 +1,9 @@
 #include "phy/wifi_phy.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "core/check.hpp"
 #include "phy/channel.hpp"
 
 namespace wmn::phy {
@@ -11,7 +11,7 @@ namespace wmn::phy {
 WifiPhy::WifiPhy(sim::Simulator& simulator, const PhyConfig& cfg,
                  std::uint32_t node_id, const mobility::MobilityModel* mobility)
     : sim_(simulator), cfg_(cfg), node_id_(node_id), mobility_(mobility) {
-  assert(mobility_ != nullptr);
+  WMN_CHECK_NOTNULL(mobility_, "WifiPhy needs a mobility model");
 }
 
 sim::Time WifiPhy::tx_duration(std::uint32_t bytes) const {
@@ -45,8 +45,8 @@ double WifiPhy::interference_mw(std::uint64_t except_key) const {
 }
 
 void WifiPhy::send(net::Packet packet) {
-  assert(state_ == State::kIdle && "send() requires an idle radio");
-  assert(channel_ != nullptr && "radio not attached to a channel");
+  WMN_CHECK(state_ == State::kIdle, "send() requires an idle radio");
+  WMN_CHECK_NOTNULL(channel_, "radio not attached to a channel");
   state_ = State::kTx;
   const sim::Time duration = tx_duration(packet.size_bytes());
   counters_.tx_airtime += duration;
@@ -57,7 +57,7 @@ void WifiPhy::send(net::Packet packet) {
 }
 
 void WifiPhy::finish_tx() {
-  assert(state_ == State::kTx);
+  WMN_CHECK(state_ == State::kTx, "finish_tx outside an active transmission");
   state_ = State::kIdle;
   // Energy that arrived while we were transmitting may still be on the
   // air; CCA reflects it now that TX no longer dominates.
@@ -84,7 +84,7 @@ void WifiPhy::begin_arrival(net::Packet packet, double rx_power_dbm,
   } else {
     if (decodable) {
       if (state_ == State::kIdle && !locked_) {
-        // unreachable: decodable && idle implies lock above
+        WMN_UNREACHABLE("decodable arrival on an idle, unlocked radio");
       } else {
         ++counters_.rx_missed_busy;
       }
@@ -105,7 +105,7 @@ void WifiPhy::begin_arrival(net::Packet packet, double rx_power_dbm,
 void WifiPhy::end_arrival(std::uint64_t key) {
   const auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
                                [key](const Arrival& a) { return a.key == key; });
-  assert(it != arrivals_.end());
+  WMN_CHECK(it != arrivals_.end(), "end_arrival for an unknown arrival key");
 
   const bool was_locked_frame = locked_ && key == locked_key_;
   net::Packet packet = std::move(it->packet);

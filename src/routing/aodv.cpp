@@ -1,9 +1,10 @@
 #include "routing/aodv.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 #include <vector>
+
+#include "core/check.hpp"
 
 namespace wmn::routing {
 
@@ -33,7 +34,8 @@ AodvAgent::AodvAgent(sim::Simulator& simulator, const AodvConfig& cfg,
       load_(std::move(load)),
       rng_(simulator.make_stream(kAodvStreamSalt ^ self.value())),
       neighbors_(simulator, cfg.hello_interval, cfg.allowed_hello_loss) {
-  assert(rebroadcast_ && selection_ && load_);
+  WMN_CHECK(rebroadcast_ && selection_ && load_,
+            "agent needs rebroadcast, selection, and load policies");
 
   mac_.set_rx_callback(
       [this](net::Packet p, net::Address src) { on_mac_receive(std::move(p), src); });
@@ -73,7 +75,13 @@ double AodvAgent::neighbourhood_load() const {
 // --------------------------------------------------------------------------
 
 void AodvAgent::send(net::Packet packet, net::Address dest) {
-  assert(dest.is_valid() && !dest.is_broadcast());
+  WMN_CHECK(dest.is_valid() && !dest.is_broadcast(),
+            "application traffic needs a valid unicast destination");
+  // Header-stack balance: the application hands over a bare payload;
+  // a leftover header here means some layer forgot to pop its header
+  // before re-submitting (e.g. on the salvage path).
+  WMN_CHECK_EQ(packet.header_count(), std::size_t{0},
+               "application packet entered the agent with headers attached");
   ++counters_.data_originated;
   if (dest == self_) {
     ++counters_.data_delivered;
@@ -151,7 +159,7 @@ std::optional<std::uint8_t> AodvAgent::ttl_for_attempt(
 
 void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
   const auto ttl = ttl_for_attempt(attempt);
-  assert(ttl.has_value());
+  WMN_CHECK(ttl.has_value(), "RREQ attempt past the retry schedule");
   ++counters_.rreq_originated;
   ++seqno_;
   ++rreq_id_;
@@ -178,7 +186,7 @@ void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
   mac_.enqueue(std::move(pkt), net::Address::broadcast());
 
   auto it = discoveries_.find(dest);
-  assert(it != discoveries_.end());
+  WMN_CHECK(it != discoveries_.end(), "RREQ sent without an open discovery");
   it->second.attempts = attempt + 1;
   // RREP wait scales with the ring radius (ring traversal time) and
   // doubles per network-wide retry, randomized by up to +50%: two
@@ -537,6 +545,10 @@ void AodvAgent::handle_data(net::Packet packet, net::Address src) {
 
   if (hdr.dest == self_) {
     ++counters_.data_delivered;
+    // Header-stack balance at node egress: every header pushed along
+    // the path must have been popped by its owning layer by now.
+    WMN_CHECK_EQ(packet.header_count(), std::size_t{0},
+                 "packet delivered to the application with headers left");
     // Active routes are refreshed by the traffic they carry.
     routes_.touch(hdr.origin, now() + cfg_.active_route_timeout);
     routes_.touch(src, now() + cfg_.active_route_timeout);
@@ -614,7 +626,8 @@ void AodvAgent::handle_link_break(net::Address next_hop) {
 
 void AodvAgent::send_rerr(const std::vector<net::Address>& dests,
                           const std::vector<std::uint32_t>& seqnos) {
-  assert(dests.size() == seqnos.size());
+  WMN_CHECK_EQ(dests.size(), seqnos.size(),
+               "RERR destination and seqno lists must pair up");
   std::size_t i = 0;
   while (i < dests.size()) {
     RerrHeader hdr;

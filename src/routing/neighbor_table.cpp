@@ -1,5 +1,7 @@
 #include "routing/neighbor_table.hpp"
 
+#include "core/check.hpp"
+
 namespace wmn::routing {
 
 NeighborTable::NeighborTable(sim::Simulator& simulator, sim::Time hello_interval,
@@ -7,6 +9,8 @@ NeighborTable::NeighborTable(sim::Simulator& simulator, sim::Time hello_interval
     : sim_(simulator),
       lifetime_(hello_interval * static_cast<std::int64_t>(allowed_loss) +
                 hello_interval / 2) {
+  WMN_CHECK_GT(lifetime_.ns(), std::int64_t{0},
+               "neighbour lifetime must be positive or nothing ever expires");
   // Sweep at half the lifetime: detection latency is bounded by
   // lifetime * 1.5 while keeping the timer cheap.
   sweep_timer_ = sim_.schedule(lifetime_ / 2, [this] { sweep(); });
@@ -17,6 +21,10 @@ NeighborTable::~NeighborTable() { sim_.cancel(sweep_timer_); }
 void NeighborTable::heard(net::Address addr, std::uint32_t seqno,
                           double load_index, std::uint16_t degree) {
   NeighborInfo& n = neighbors_[addr];
+  // TTL ordering: liveness timestamps never move backwards — the
+  // simulator clock is monotone, so a regression means a stale entry
+  // escaped a sweep or an event fired out of order.
+  WMN_CHECK_GE(sim_.now(), n.last_heard, "neighbour liveness went backwards");
   n.addr = addr;
   n.last_heard = sim_.now();
   n.last_seqno = seqno;
@@ -56,6 +64,8 @@ void NeighborTable::sweep() {
       lost.push_back(it->first);
       it = neighbors_.erase(it);
     } else {
+      WMN_CHECK_LE(it->second.last_heard, now,
+                   "surviving neighbour heard in the future");
       ++it;
     }
   }

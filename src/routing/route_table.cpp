@@ -1,5 +1,7 @@
 #include "routing/route_table.hpp"
 
+#include "core/check.hpp"
+
 namespace wmn::routing {
 
 const RouteEntry* RouteTable::lookup(net::Address dest, sim::Time now) {
@@ -20,6 +22,17 @@ RouteEntry* RouteTable::find(net::Address dest) {
 }
 
 RouteEntry& RouteTable::upsert(const RouteEntry& entry) {
+  // Next-hop validity: a usable route must point at a concrete
+  // neighbour. A broadcast or null next hop would silently blackhole
+  // every packet sent along it.
+  WMN_CHECK(entry.dest.is_valid() && !entry.dest.is_broadcast(),
+            "route entries are keyed by unicast destinations");
+  if (entry.state == RouteState::kValid) {
+    WMN_CHECK(entry.next_hop.is_valid() && !entry.next_hop.is_broadcast(),
+              "valid route with an unusable next hop");
+    WMN_CHECK_GE(entry.hop_count, std::uint8_t{1},
+                 "a valid route spans at least one hop");
+  }
   return table_[entry.dest] = entry;
 }
 

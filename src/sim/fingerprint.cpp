@@ -1,0 +1,21 @@
+#include "sim/fingerprint.hpp"
+
+namespace wmn::sim {
+
+void Fingerprint::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (v >> (8 * i)) & 0xFFU;
+    state_ *= kPrime;
+  }
+}
+
+void Fingerprint::mix(std::string_view bytes) {
+  for (const char c : bytes) {
+    state_ ^= static_cast<unsigned char>(c);
+    state_ *= kPrime;
+  }
+  // Length terminator so ("ab","c") and ("a","bc") differ.
+  mix(static_cast<std::uint64_t>(bytes.size()));
+}
+
+}  // namespace wmn::sim

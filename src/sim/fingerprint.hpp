@@ -1,0 +1,47 @@
+// Run fingerprinting for the determinism contract.
+//
+// Every figure in the reproduction assumes that one (scenario, seed)
+// pair produces exactly one event trace. A Fingerprint folds an
+// ordered sequence of scalars (event counts, packet totals, metric
+// values) into a single 64-bit digest; two same-seed runs must produce
+// bit-identical digests, and tests/test_determinism.cpp holds the
+// project to that.
+//
+// The hash is FNV-1a over the value bytes. It is a diagnostic digest,
+// not a cryptographic one: collisions between *different* traces are
+// astronomically unlikely to hide a real nondeterminism bug across the
+// dozens of mixed quantities, and that is the only property needed.
+//
+// Doubles are folded via their IEEE-754 bit pattern, so "identical"
+// means bit-for-bit identical — exactly the determinism the RNG
+// discipline (stable per-component stream ids) promises. -0.0 and NaN
+// payloads therefore matter; deterministic code produces the same ones.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace wmn::sim {
+
+class Fingerprint {
+ public:
+  // Fold one value into the digest. Order is significant.
+  void mix(std::uint64_t v);
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(std::string_view bytes);
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+ private:
+  // FNV-1a 64-bit offset basis / prime.
+  static constexpr std::uint64_t kOffset = 0xCBF29CE484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x00000100000001B3ULL;
+
+  std::uint64_t state_ = kOffset;
+};
+
+}  // namespace wmn::sim

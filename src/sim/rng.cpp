@@ -1,6 +1,6 @@
 #include "sim/rng.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
 
 namespace wmn::sim {
 
@@ -30,7 +30,7 @@ double RngStream::uniform(double lo, double hi) {
 }
 
 std::uint64_t RngStream::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
-  assert(lo <= hi);
+  WMN_CHECK_LE(lo, hi, "uniform_u64 range inverted");
   const std::uint64_t span = hi - lo;
   if (span == ~0ULL) return gen_.next();
   const std::uint64_t n = span + 1;
@@ -42,7 +42,7 @@ std::uint64_t RngStream::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
 }
 
 std::int64_t RngStream::uniform_i64(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  WMN_CHECK_LE(lo, hi, "uniform_i64 range inverted");
   const auto span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
   return static_cast<std::int64_t>(
@@ -56,7 +56,7 @@ bool RngStream::bernoulli(double p) {
 }
 
 double RngStream::exponential(double mean) {
-  assert(mean > 0.0);
+  WMN_CHECK_GT(mean, 0.0, "exponential() needs a positive mean");
   double u = uniform01();
   // Guard against log(0).
   if (u <= 0.0) u = 0x1.0p-53;
@@ -81,14 +81,14 @@ double RngStream::normal(double mean, double stddev) {
 }
 
 double RngStream::pareto(double shape, double scale) {
-  assert(shape > 0.0 && scale > 0.0);
+  WMN_CHECK(shape > 0.0 && scale > 0.0, "pareto() needs positive parameters");
   double u = uniform01();
   if (u <= 0.0) u = 0x1.0p-53;
   return scale / std::pow(u, 1.0 / shape);
 }
 
 std::size_t RngStream::index(std::size_t n) {
-  assert(n > 0);
+  WMN_CHECK_GT(n, std::size_t{0}, "index() over an empty range");
   return static_cast<std::size_t>(uniform_u64(0, n - 1));
 }
 

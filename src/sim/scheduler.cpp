@@ -1,11 +1,13 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace wmn::sim {
 
 EventId Scheduler::schedule(Time at, EventFn fn) {
+  WMN_CHECK(!at.is_negative(), "events cannot be scheduled before t=0");
   const std::uint64_t seq = ++next_seq_;  // ids start at 1; 0 = invalid
   heap_.push_back(Entry{at, seq, std::move(fn)});
   sift_up(heap_.size() - 1);
@@ -33,7 +35,7 @@ Time Scheduler::next_time() {
 
 Scheduler::Fired Scheduler::pop() {
   drop_dead_top();
-  assert(!heap_.empty() && "pop() on empty scheduler");
+  WMN_CHECK(!heap_.empty(), "pop() on empty scheduler");
   Fired out{heap_[0].at, std::move(heap_[0].fn)};
   pending_.erase(heap_[0].seq);
   heap_[0] = std::move(heap_.back());

@@ -1,7 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace wmn::sim {
 
@@ -11,7 +12,7 @@ EventId Simulator::schedule(Time delay, EventFn fn) {
 }
 
 EventId Simulator::schedule_at(Time at, EventFn fn) {
-  assert(at >= now_ && "cannot schedule in the past");
+  WMN_CHECK_GE(at, now_, "cannot schedule in the past");
   return calendar_.schedule(at, std::move(fn));
 }
 
@@ -26,7 +27,7 @@ void Simulator::run_until(Time deadline) {
       return;
     }
     auto fired = calendar_.pop();
-    assert(fired.at >= now_ && "calendar must be monotone");
+    WMN_CHECK_GE(fired.at, now_, "calendar must be monotone");
     now_ = fired.at;
     fired.fn();
     ++events_executed_;

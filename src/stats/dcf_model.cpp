@@ -1,7 +1,8 @@
 #include "stats/dcf_model.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace wmn::stats {
 
@@ -16,7 +17,8 @@ double tau_of_p(double p, double w, double m) {
 }  // namespace
 
 DcfModelResult solve_dcf_saturation(const DcfModelParams& params) {
-  assert(params.n_stations >= 2);
+  WMN_CHECK_GE(params.n_stations, 2u,
+               "Bianchi model needs at least two stations");
   DcfModelResult r;
   const double n = static_cast<double>(params.n_stations);
   const double w = static_cast<double>(params.cw_min) + 1.0;

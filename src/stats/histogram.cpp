@@ -1,14 +1,15 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace wmn::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), bins_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  WMN_CHECK(hi > lo && bins > 0, "histogram needs a non-empty range");
 }
 
 void Histogram::add(double x) {

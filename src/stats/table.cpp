@@ -1,19 +1,21 @@
 #include "stats/table.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "core/check.hpp"
+
 namespace wmn::stats {
 
 Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
-  assert(!columns_.empty());
+  WMN_CHECK(!columns_.empty(), "a table needs at least one column");
 }
 
 void Table::add_row(std::vector<std::string> cells) {
-  assert(cells.size() == columns_.size());
+  WMN_CHECK_EQ(cells.size(), columns_.size(),
+               "row width must match the column count");
   rows_.push_back(std::move(cells));
 }
 

@@ -1,6 +1,7 @@
 #include "traffic/cbr_source.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
+
 
 namespace wmn::traffic {
 
@@ -18,7 +19,7 @@ CbrSource::CbrSource(sim::Simulator& simulator, const CbrConfig& cfg,
       factory_(factory),
       registry_(registry),
       rng_(simulator.make_stream(kCbrStreamSalt ^ cfg.flow_id)) {
-  assert(cfg_.rate_pps > 0.0);
+  WMN_CHECK_GT(cfg_.rate_pps, 0.0, "CBR rate must be positive");
   registry_.register_flow(cfg_.flow_id, agent_.address(), cfg_.dest);
   const sim::Time interval = sim::Time::seconds(1.0 / cfg_.rate_pps);
   sim::Time first = cfg_.start;
@@ -49,7 +50,7 @@ PoissonOnOffSource::PoissonOnOffSource(sim::Simulator& simulator,
       factory_(factory),
       registry_(registry),
       rng_(simulator.make_stream(kOnOffStreamSalt ^ cfg.flow_id)) {
-  assert(cfg_.rate_pps > 0.0);
+  WMN_CHECK_GT(cfg_.rate_pps, 0.0, "on/off source rate must be positive");
   registry_.register_flow(cfg_.flow_id, agent_.address(), cfg_.dest);
   timer_ = sim_.schedule_at(
       cfg_.start + sim::Time::seconds(rng_.exponential(cfg_.mean_off.to_seconds())),

@@ -1,13 +1,14 @@
 #include "traffic/flow_builder.hpp"
 
-#include <cassert>
 #include <set>
+
+#include "core/check.hpp"
 
 namespace wmn::traffic {
 
 std::vector<NodePair> random_pairs(std::size_t n_flows, std::uint32_t n_nodes,
                                    sim::RngStream& rng) {
-  assert(n_nodes >= 2);
+  WMN_CHECK_GE(n_nodes, 2u, "flows need at least two nodes");
   std::vector<NodePair> out;
   std::set<NodePair> used;
   out.reserve(n_flows);
@@ -22,14 +23,15 @@ std::vector<NodePair> random_pairs(std::size_t n_flows, std::uint32_t n_nodes,
     if (!used.insert({a, b}).second) continue;
     out.push_back({a, b});
   }
-  assert(out.size() == n_flows && "could not build requested flow count");
+  WMN_CHECK_EQ(out.size(), n_flows, "could not build requested flow count");
   return out;
 }
 
 std::vector<NodePair> gateway_pairs(std::size_t n_flows, std::uint32_t n_nodes,
                                     const std::vector<std::uint32_t>& gateways,
                                     sim::RngStream& rng) {
-  assert(!gateways.empty() && n_nodes >= 2);
+  WMN_CHECK(!gateways.empty() && n_nodes >= 2,
+            "gateway flows need a gateway and at least two nodes");
   std::vector<NodePair> out;
   std::set<NodePair> used;
   out.reserve(n_flows);
@@ -44,7 +46,7 @@ std::vector<NodePair> gateway_pairs(std::size_t n_flows, std::uint32_t n_nodes,
     out.push_back({src, gw});
     ++gw_idx;
   }
-  assert(out.size() == n_flows && "could not build requested flow count");
+  WMN_CHECK_EQ(out.size(), n_flows, "could not build requested flow count");
   return out;
 }
 

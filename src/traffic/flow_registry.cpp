@@ -1,13 +1,14 @@
 #include "traffic/flow_registry.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace wmn::traffic {
 
 FlowRecord& FlowRegistry::register_flow(std::uint32_t flow_id, net::Address src,
                                         net::Address dst) {
-  assert(!flows_.contains(flow_id) && "duplicate flow id");
+  WMN_CHECK(!flows_.contains(flow_id), "duplicate flow id");
   FlowRecord& r = flows_[flow_id];
   r.flow_id = flow_id;
   r.src = src;
@@ -17,7 +18,7 @@ FlowRecord& FlowRegistry::register_flow(std::uint32_t flow_id, net::Address src,
 
 void FlowRegistry::record_sent(std::uint32_t flow_id, std::uint32_t bytes) {
   auto it = flows_.find(flow_id);
-  assert(it != flows_.end());
+  WMN_CHECK(it != flows_.end(), "record_sent for an unregistered flow");
   ++it->second.sent;
   it->second.sent_bytes += bytes;
 }

@@ -1,0 +1,105 @@
+// CheckPolicy coverage: proves the invariant layer is live in the
+// build type the experiments actually use. This test deliberately has
+// no NDEBUG guards — if WMN_CHECK ever compiled out the way assert()
+// does, the death tests below would fail in RelWithDebInfo and Release.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/check.hpp"
+
+namespace wmn {
+namespace {
+
+// Restores the abort policy and a clean counter around each test so
+// the global check state never leaks between tests.
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::set_check_policy(core::CheckPolicy::kAbort);
+    core::reset_check_violations();
+  }
+  void TearDown() override {
+    core::set_check_policy(core::CheckPolicy::kAbort);
+    core::reset_check_violations();
+  }
+};
+
+using CheckDeathTest = CheckTest;
+
+TEST_F(CheckTest, PassingCheckIsSilent) {
+  WMN_CHECK(1 + 1 == 2, "arithmetic holds");
+  WMN_CHECK_EQ(4, 4, "equal");
+  WMN_CHECK_NE(4, 5, "not equal");
+  WMN_CHECK_GE(5, 5, "greater-equal");
+  WMN_CHECK_GT(6, 5, "greater");
+  WMN_CHECK_LE(5, 5, "less-equal");
+  WMN_CHECK_LT(4, 5, "less");
+  const int x = 3;
+  WMN_CHECK_NOTNULL(&x, "stack address");
+  EXPECT_EQ(core::check_violations(), 0u);
+}
+
+TEST_F(CheckDeathTest, FailingCheckAbortsInThisBuildType) {
+  // The core of the PR: this fires in Release/RelWithDebInfo, where
+  // assert() would have been compiled out.
+  EXPECT_DEATH(WMN_CHECK(false, "must abort under kAbort"), "must abort");
+}
+
+TEST_F(CheckDeathTest, ComparisonCheckAbortsAndNamesOperands) {
+  EXPECT_DEATH(WMN_CHECK_GE(1, 2, "ordering broken"), "1 >= 2");
+}
+
+TEST_F(CheckDeathTest, UnreachableTerminatesUnderAbortPolicy) {
+  EXPECT_DEATH(WMN_UNREACHABLE("impossible state"), "impossible state");
+}
+
+TEST_F(CheckDeathTest, UnreachableTerminatesEvenUnderLogAndCount) {
+  // WMN_UNREACHABLE ignores the policy: there is no state to continue
+  // from.
+  EXPECT_DEATH(
+      {
+        core::set_check_policy(core::CheckPolicy::kLogAndCount);
+        WMN_UNREACHABLE("impossible state");
+      },
+      "impossible state");
+}
+
+TEST_F(CheckTest, LogAndCountContinuesAndCounts) {
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  EXPECT_EQ(core::check_violations(), 0u);
+  WMN_CHECK(false, "counted, not fatal");
+  WMN_CHECK_EQ(1, 2, "also counted");
+  // Reaching this line at all proves the policy did not abort.
+  EXPECT_EQ(core::check_violations(), 2u);
+  WMN_CHECK(true, "passing checks do not count");
+  EXPECT_EQ(core::check_violations(), 2u);
+}
+
+TEST_F(CheckTest, ResetClearsTheCounter) {
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  WMN_CHECK(false, "one violation");
+  EXPECT_EQ(core::check_violations(), 1u);
+  core::reset_check_violations();
+  EXPECT_EQ(core::check_violations(), 0u);
+}
+
+TEST_F(CheckTest, OperandsEvaluatedExactlyOnce) {
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  int evals = 0;
+  const auto bump = [&evals] { return ++evals; };
+  WMN_CHECK_EQ(bump(), 1, "side-effecting operand");
+  EXPECT_EQ(evals, 1);
+  WMN_CHECK_EQ(bump(), 999, "failing side-effecting operand");
+  EXPECT_EQ(evals, 2);
+  EXPECT_EQ(core::check_violations(), 1u);
+}
+
+TEST_F(CheckTest, PolicyRoundTrips) {
+  EXPECT_EQ(core::check_policy(), core::CheckPolicy::kAbort);
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  EXPECT_EQ(core::check_policy(), core::CheckPolicy::kLogAndCount);
+}
+
+}  // namespace
+}  // namespace wmn

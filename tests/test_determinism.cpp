@@ -1,0 +1,112 @@
+// Determinism auditor: the contract every F1-F9 result depends on.
+//
+// One (config, seed) pair must produce exactly one event trace. These
+// tests run a mid-size scenario twice with the same seed and require
+// bit-identical fingerprints over event counts and every headline
+// metric — and a *different* fingerprint for a different seed, so a
+// fingerprint that stopped depending on the RNG would be caught too.
+#include <gtest/gtest.h>
+
+#include "exp/metrics.hpp"
+#include "exp/scenario.hpp"
+#include "sim/fingerprint.hpp"
+
+namespace wmn {
+namespace {
+
+exp::ScenarioConfig mid_size_config(std::uint64_t seed,
+                                    core::Protocol protocol) {
+  exp::ScenarioConfig cfg;
+  cfg.n_nodes = 36;
+  cfg.area_width_m = 600.0;
+  cfg.area_height_m = 600.0;
+  cfg.traffic.n_flows = 6;
+  cfg.traffic.rate_pps = 4.0;
+  cfg.warmup = sim::Time::seconds(3.0);
+  cfg.traffic_time = sim::Time::seconds(10.0);
+  cfg.drain = sim::Time::seconds(1.0);
+  cfg.protocol = protocol;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct RunResult {
+  std::uint64_t metrics_fp = 0;
+  std::uint64_t events = 0;
+};
+
+RunResult run_once(std::uint64_t seed, core::Protocol protocol) {
+  exp::Scenario s(mid_size_config(seed, protocol));
+  s.run();
+  RunResult r;
+  r.metrics_fp = exp::fingerprint(s.metrics());
+  r.events = s.simulator().events_executed();
+  return r;
+}
+
+TEST(Determinism, SameSeedSameFingerprintClnlr) {
+  const RunResult a = run_once(42, core::Protocol::kClnlr);
+  const RunResult b = run_once(42, core::Protocol::kClnlr);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.metrics_fp, b.metrics_fp);
+}
+
+TEST(Determinism, SameSeedSameFingerprintAodvFlood) {
+  const RunResult a = run_once(7, core::Protocol::kAodvFlood);
+  const RunResult b = run_once(7, core::Protocol::kAodvFlood);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.metrics_fp, b.metrics_fp);
+}
+
+TEST(Determinism, SameSeedSameFingerprintGossipMobile) {
+  // Gossip + mobility exercises the probabilistic rebroadcast and the
+  // random-waypoint streams, the two most RNG-hungry subsystems.
+  auto cfg = mid_size_config(13, core::Protocol::kAodvGossip);
+  cfg.mobility.max_speed_mps = 5.0;
+  exp::Scenario a(cfg);
+  a.run();
+  exp::Scenario b(cfg);
+  b.run();
+  EXPECT_EQ(a.simulator().events_executed(), b.simulator().events_executed());
+  EXPECT_EQ(exp::fingerprint(a.metrics()), exp::fingerprint(b.metrics()));
+}
+
+TEST(Determinism, DifferentSeedDifferentFingerprint) {
+  const RunResult a = run_once(42, core::Protocol::kClnlr);
+  const RunResult b = run_once(43, core::Protocol::kClnlr);
+  // Event counts for different seeds could in principle collide, but
+  // the metric digest folds dozens of RNG-driven quantities — equality
+  // would mean the seed no longer reaches the simulation.
+  EXPECT_NE(a.metrics_fp, b.metrics_fp);
+}
+
+TEST(Determinism, FingerprintOrderSensitive) {
+  sim::Fingerprint a;
+  a.mix(std::uint64_t{1});
+  a.mix(std::uint64_t{2});
+  sim::Fingerprint b;
+  b.mix(std::uint64_t{2});
+  b.mix(std::uint64_t{1});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Determinism, FingerprintStringBoundaries) {
+  sim::Fingerprint a;
+  a.mix("ab");
+  a.mix("c");
+  sim::Fingerprint b;
+  b.mix("a");
+  b.mix("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Determinism, FingerprintDistinguishesDoubleBitPatterns) {
+  sim::Fingerprint a;
+  a.mix(0.0);
+  sim::Fingerprint b;
+  b.mix(-0.0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace wmn

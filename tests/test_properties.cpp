@@ -109,9 +109,9 @@ std::vector<Param> make_params() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocolsAndSeeds, ProtocolLaws, ::testing::ValuesIn(make_params()),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string n = core::protocol_name(info.param.protocol) + "_s" +
-                      std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string n = core::protocol_name(param_info.param.protocol) + "_s" +
+                      std::to_string(param_info.param.seed);
       for (char& ch : n) {
         if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
       }

@@ -174,8 +174,8 @@ TEST_P(ScenarioPerProtocol, DeliversTraffic) {
 INSTANTIATE_TEST_SUITE_P(
     Protocols, ScenarioPerProtocol,
     ::testing::ValuesIn(core::all_protocols()),
-    [](const ::testing::TestParamInfo<core::Protocol>& info) {
-      std::string n = core::protocol_name(info.param);
+    [](const ::testing::TestParamInfo<core::Protocol>& param_info) {
+      std::string n = core::protocol_name(param_info.param);
       for (char& ch : n) {
         if (ch == '-' || ch == '(' || ch == ')' || ch == '.' || ch == '=') {
           ch = '_';
