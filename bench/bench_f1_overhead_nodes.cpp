@@ -20,19 +20,31 @@ int main() {
   }
   stats::Table table(cols);
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (std::size_t n : node_counts) {
-    std::vector<std::string> row{std::to_string(n)};
     for (core::Protocol p : core::headline_protocols()) {
       exp::ScenarioConfig cfg = base_config();
       cfg.n_nodes = n;
       cfg.traffic.rate_pps = 6.0;  // the congestion operating point
       cfg.protocol = p;
-      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      cells.push_back(sweep.add_cell(
+          cfg, env.reps,
+          std::to_string(n) + " nodes, " + core::protocol_name(p)));
+    }
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (std::size_t n : node_counts) {
+    std::vector<std::string> row{std::to_string(n)};
+    for ([[maybe_unused]] core::Protocol p : core::headline_protocols()) {
+      const auto reps = sweep.cell_metrics(*cell++);
       row.push_back(exp::ci_str(
           reps, [](const exp::RunMetrics& m) { return m.rreq_per_discovery; }, 1));
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f1_overhead_nodes.csv");
+  finish(table, "f1_overhead_nodes.csv", sweep);
   return 0;
 }

@@ -18,18 +18,30 @@ int main() {
   }
   stats::Table table(cols);
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (double rate : rates) {
-    std::vector<std::string> row{stats::Table::num(rate, 0)};
     for (core::Protocol p : core::headline_protocols()) {
       exp::ScenarioConfig cfg = base_config();
       cfg.traffic.rate_pps = rate;
       cfg.protocol = p;
-      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      cells.push_back(sweep.add_cell(
+          cfg, env.reps,
+          stats::Table::num(rate, 0) + " pkt/s, " + core::protocol_name(p)));
+    }
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (double rate : rates) {
+    std::vector<std::string> row{stats::Table::num(rate, 0)};
+    for ([[maybe_unused]] core::Protocol p : core::headline_protocols()) {
+      const auto reps = sweep.cell_metrics(*cell++);
       row.push_back(exp::ci_str(
           reps, [](const exp::RunMetrics& m) { return m.mean_delay_ms; }, 0));
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f3_delay_load.csv");
+  finish(table, "f3_delay_load.csv", sweep);
   return 0;
 }

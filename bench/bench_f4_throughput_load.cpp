@@ -17,6 +17,21 @@ int main() {
   }
   stats::Table table(cols);
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
+  for (double rate : rates) {
+    for (core::Protocol p : core::headline_protocols()) {
+      exp::ScenarioConfig cfg = base_config();
+      cfg.traffic.rate_pps = rate;
+      cfg.protocol = p;
+      cells.push_back(sweep.add_cell(
+          cfg, env.reps,
+          stats::Table::num(rate, 0) + " pkt/s, " + core::protocol_name(p)));
+    }
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
   for (double rate : rates) {
     const auto base = base_config();
     const double offered_kbps = rate *
@@ -25,16 +40,13 @@ int main() {
                                 8.0 / 1e3;
     std::vector<std::string> row{stats::Table::num(rate, 0),
                                  stats::Table::num(offered_kbps, 0)};
-    for (core::Protocol p : core::headline_protocols()) {
-      exp::ScenarioConfig cfg = base_config();
-      cfg.traffic.rate_pps = rate;
-      cfg.protocol = p;
-      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    for ([[maybe_unused]] core::Protocol p : core::headline_protocols()) {
+      const auto reps = sweep.cell_metrics(*cell++);
       row.push_back(exp::ci_str(
           reps, [](const exp::RunMetrics& m) { return m.throughput_kbps; }, 0));
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f4_throughput_load.csv");
+  finish(table, "f4_throughput_load.csv", sweep);
   return 0;
 }

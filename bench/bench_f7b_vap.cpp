@@ -23,15 +23,27 @@ int main() {
   }
   stats::Table table(cols);
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (double speed : speeds) {
-    std::vector<std::string> row{stats::Table::num(speed, 0)};
     for (core::Protocol p : protocols) {
       exp::ScenarioConfig cfg = base_config();
       cfg.traffic.rate_pps = 6.0;
       cfg.mobility.max_speed_mps = speed;
       cfg.mobility.pause = sim::Time::seconds(2.0);
       cfg.protocol = p;
-      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      cells.push_back(sweep.add_cell(
+          cfg, env.reps,
+          stats::Table::num(speed, 0) + " m/s, " + core::protocol_name(p)));
+    }
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (double speed : speeds) {
+    std::vector<std::string> row{stats::Table::num(speed, 0)};
+    for ([[maybe_unused]] core::Protocol p : protocols) {
+      const auto reps = sweep.cell_metrics(*cell++);
       row.push_back(
           exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3));
       row.push_back(exp::ci_str(
@@ -41,6 +53,6 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f7b_vap_mobility.csv");
+  finish(table, "f7b_vap_mobility.csv", sweep);
   return 0;
 }

@@ -15,6 +15,8 @@ int main() {
   stats::Table table({"protocol", "Jain (active)", "peak/mean", "active nodes",
                       "PDR", "delay (ms)", "fwd total"});
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (core::Protocol p : core::headline_protocols()) {
     exp::ScenarioConfig cfg = base_config();
     cfg.traffic.pattern = exp::TrafficSpec::Pattern::kGateway;
@@ -22,12 +24,18 @@ int main() {
     cfg.traffic.n_flows = 12;
     cfg.traffic.rate_pps = 6.0;
     cfg.protocol = p;
-    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (core::Protocol p : core::headline_protocols()) {
+    const auto reps = sweep.cell_metrics(*cell++);
     double fwd_total = 0.0;
     for (const auto& m : reps) {
       for (double f : m.per_node_forwarded) fwd_total += f;
     }
-    fwd_total /= static_cast<double>(reps.size());
+    if (!reps.empty()) fwd_total /= static_cast<double>(reps.size());
     table.add_row(
         {core::protocol_name(p),
          exp::ci_str(reps,
@@ -47,6 +55,6 @@ int main() {
                      [](const exp::RunMetrics& m) { return m.mean_delay_ms; }, 0),
          stats::Table::num(fwd_total, 0)});
   }
-  finish(table, "f8_load_balance.csv");
+  finish(table, "f8_load_balance.csv", sweep);
   return 0;
 }

@@ -13,11 +13,19 @@ int main() {
 
   stats::Table table({"protocol", "total J", "J/node", "mJ/kbit", "PDR"});
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (core::Protocol p : core::headline_protocols()) {
     exp::ScenarioConfig cfg = base_config();
     cfg.traffic.rate_pps = 6.0;
     cfg.protocol = p;
-    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (core::Protocol p : core::headline_protocols()) {
+    const auto reps = sweep.cell_metrics(*cell++);
     table.add_row(
         {core::protocol_name(p),
          exp::ci_str(reps,
@@ -30,6 +38,6 @@ int main() {
              1),
          exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3)});
   }
-  finish(table, "f9_energy.csv");
+  finish(table, "f9_energy.csv", sweep);
   return 0;
 }

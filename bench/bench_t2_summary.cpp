@@ -10,11 +10,19 @@ int main() {
   stats::Table table({"protocol", "PDR", "delay (ms)", "thpt (kb/s)",
                       "RREQ/disc", "NRL", "collisions", "q-drops"});
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (core::Protocol p : core::all_protocols()) {
     exp::ScenarioConfig cfg = base_config();
     cfg.traffic.rate_pps = 6.0;
     cfg.protocol = p;
-    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (core::Protocol p : core::all_protocols()) {
+    const auto reps = sweep.cell_metrics(*cell++);
     table.add_row(
         {core::protocol_name(p),
          exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3),
@@ -39,6 +47,6 @@ int main() {
              },
              0)});
   }
-  finish(table, "t2_summary.csv");
+  finish(table, "t2_summary.csv", sweep);
   return 0;
 }

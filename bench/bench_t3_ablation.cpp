@@ -20,11 +20,19 @@ int main() {
   stats::Table table({"protocol", "PDR", "delay (ms)", "RREQ tx", "RREQ/disc",
                       "NRL", "collisions", "avg hops"});
 
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
   for (core::Protocol p : protocols) {
     exp::ScenarioConfig cfg = base_config();
     cfg.traffic.rate_pps = 6.0;
     cfg.protocol = p;
-    const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+    cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (core::Protocol p : protocols) {
+    const auto reps = sweep.cell_metrics(*cell++);
     table.add_row(
         {core::protocol_name(p),
          exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3),
@@ -49,6 +57,6 @@ int main() {
          exp::ci_str(reps,
                      [](const exp::RunMetrics& m) { return m.avg_path_hops; }, 1)});
   }
-  finish(table, "t3_ablation.csv");
+  finish(table, "t3_ablation.csv", sweep);
   return 0;
 }

@@ -15,13 +15,28 @@ int main() {
   stats::Table table({"variant", "PDR", "delay (ms)", "thpt (kb/s)",
                       "MAC retries", "collisions"});
 
-  for (core::Protocol p : {core::Protocol::kAodvFlood, core::Protocol::kClnlr}) {
+  const std::vector<core::Protocol> protocols{core::Protocol::kAodvFlood,
+                                              core::Protocol::kClnlr};
+
+  exp::SweepEngine sweep(env.threads);
+  std::vector<std::size_t> cells;
+  for (core::Protocol p : protocols) {
     for (bool rts : {false, true}) {
       exp::ScenarioConfig cfg = base_config();
       cfg.traffic.rate_pps = 6.0;
       cfg.protocol = p;
       if (rts) cfg.mac.rts_threshold_bytes = 256;  // data yes, control no
-      const auto reps = exp::run_replications(cfg, env.reps, env.threads);
+      cells.push_back(sweep.add_cell(
+          cfg, env.reps,
+          core::protocol_name(p) + (rts ? " +RTS/CTS" : " (basic)")));
+    }
+  }
+  sweep.run();
+
+  auto cell = cells.cbegin();
+  for (core::Protocol p : protocols) {
+    for (bool rts : {false, true}) {
+      const auto reps = sweep.cell_metrics(*cell++);
       table.add_row(
           {core::protocol_name(p) + (rts ? " +RTS/CTS" : " (basic)"),
            exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3),
@@ -44,6 +59,6 @@ int main() {
                0)});
     }
   }
-  finish(table, "t5_rts.csv");
+  finish(table, "t5_rts.csv", sweep);
   return 0;
 }

@@ -1,7 +1,13 @@
 // Shared scaffolding for the figure/table reproduction binaries.
 //
-// Every bench prints a paper-style series table to stdout and writes
-// the same data as CSV next to the binary. Environment knobs:
+// Every bench flattens its whole sweep (point × protocol × replication)
+// into one exp::SweepEngine drained by the persistent worker pool, then
+// renders a paper-style series table to stdout and writes the same data
+// as CSV next to the binary. Benches run WMN_CHECK under kLogAndCount:
+// a replication that trips an invariant (or throws) becomes a failed
+// slot in the sweep report instead of killing the campaign.
+//
+// Environment knobs:
 //   WMN_REPS=N    replications per point (default 2)
 //   WMN_THREADS=N worker threads (default: hardware concurrency)
 //   WMN_QUICK=1   shrink traffic time for smoke runs
@@ -10,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/check.hpp"
 #include "exp/sweep.hpp"
 #include "stats/table.hpp"
 
@@ -45,6 +52,9 @@ struct BenchEnv {
 };
 
 inline BenchEnv announce(const std::string& id, const std::string& title) {
+  // Long campaigns: one bad replication taints its own slot instead of
+  // aborting the binary (docs/TOOLING.md, "Crash-safe sweeps").
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
   BenchEnv env{exp::env_reps(2), exp::env_threads()};
   std::cout << "\n=== " << id << ": " << title << " ===\n"
             << "(replications per point: " << env.reps
@@ -59,6 +69,20 @@ inline void finish(const stats::Table& table, const std::string& csv_name) {
     std::cout << "\n[csv written: " << csv_name << "]\n";
   }
   std::cout.flush();
+}
+
+// Sweep-aware variant: also surfaces failed replication slots, so a
+// crashed or tainted worker is visible right next to the table it was
+// excluded from.
+inline void finish(const stats::Table& table, const std::string& csv_name,
+                   const exp::SweepEngine& sweep) {
+  finish(table, csv_name);
+  if (const std::size_t failed = sweep.failed_count(); failed > 0) {
+    std::cout << "\n[WARNING: " << failed << " of " << sweep.task_count()
+              << " replication(s) failed; their slots are excluded above]\n"
+              << sweep.failure_report();
+    std::cout.flush();
+  }
 }
 
 }  // namespace wmnbench

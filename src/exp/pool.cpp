@@ -1,0 +1,77 @@
+#include "exp/pool.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "core/check.hpp"
+#include "exp/sweep.hpp"
+
+namespace wmn::exp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1u : threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  WMN_CHECK_NOTNULL(task, "ThreadPool::submit needs a callable task");
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    WMN_CHECK(!stop_, "ThreadPool::submit after shutdown began");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop requested and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lk.unlock();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      // Contract violation: containment belongs in parallel_try_map.
+      // Last resort — report and keep the worker alive; terminating
+      // here would take a whole sweep down with it.
+      std::fprintf(stderr,
+                   "[wmn] ThreadPool: task escaped with exception: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "[wmn] ThreadPool: task escaped with unknown exception\n");
+    }
+    lk.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(env_threads());
+  return pool;
+}
+
+}  // namespace wmn::exp

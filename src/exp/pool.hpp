@@ -1,0 +1,72 @@
+// Persistent worker pool for the sweep layer.
+//
+// One pool lives for the lifetime of a bench binary (see shared_pool())
+// and drains every sweep's flattened task list, replacing the previous
+// spawn/join-per-point discipline: workers are created once, so a
+// 20-point sweep no longer pays 20 rounds of thread churn and — more
+// importantly — no longer serializes at a barrier after every point.
+//
+// The pool itself is deliberately dumb: FIFO tasks, mutex + condvar.
+// Tasks must not throw — exception containment lives one layer up in
+// parallel_try_map (src/exp/parallel.hpp), which boxes each task's
+// outcome. A task that escapes with an exception anyway is logged and
+// swallowed as a last resort rather than taking the process down.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace wmn::exp {
+
+// Number of worker threads to use by default: hardware concurrency,
+// floored at 1.
+[[nodiscard]] inline unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+class ThreadPool {
+ public:
+  // Spins up `threads` long-lived workers (floored at 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();  // drains the queue, then joins every worker
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Enqueue one task. Tasks run in FIFO order on the next free worker
+  // and must not throw (see header comment).
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "there is work (or stop)"
+  std::condition_variable idle_cv_;  // waiters: "queue drained, none running"
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// The process-lifetime pool every sweep shares, sized by env_threads()
+// (WMN_THREADS, default hardware concurrency) at first use. Callers
+// that want less concurrency than the pool offers bound it per call
+// (the `width` argument of parallel_try_map), not by resizing.
+[[nodiscard]] ThreadPool& shared_pool();
+
+}  // namespace wmn::exp

@@ -1,19 +1,146 @@
 #include "exp/sweep.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/check.hpp"
 
 namespace wmn::exp {
 
+// --------------------------------------------------------------------------
+// SweepEngine
+// --------------------------------------------------------------------------
+
+SweepEngine::SweepEngine(unsigned threads)
+    : threads_(threads == 0 ? 1u : threads) {}
+
+std::size_t SweepEngine::add_cell(const ScenarioConfig& cfg,
+                                  std::size_t n_reps, std::string label) {
+  WMN_CHECK(!ran_, "add_cell after run(): a SweepEngine drains once");
+  WMN_CHECK_GT(n_reps, std::size_t{0}, "a sweep cell needs >= 1 replication");
+  Cell cell;
+  cell.label = std::move(label);
+  cell.cfg = cfg;
+  cell.first = outcomes_.size();
+  cell.n_reps = n_reps;
+  outcomes_.resize(outcomes_.size() + n_reps);
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+RunMetrics SweepEngine::execute(const ScenarioConfig& cfg) {
+  Scenario scenario(cfg);
+  scenario.run();
+  return scenario.metrics();
+}
+
+void SweepEngine::run() {
+  WMN_CHECK(!ran_, "SweepEngine::run() called twice");
+  ran_ = true;
+
+  // Flatten (cell, rep) pairs so the pool sees one uniform task list.
+  struct Task {
+    std::size_t cell;
+    std::size_t rep;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(outcomes_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    for (std::size_t r = 0; r < cells_[c].n_reps; ++r) tasks.push_back({c, r});
+  }
+
+  auto tried = parallel_try_map(
+      shared_pool(), tasks.size(), threads_, [this, &tasks](std::size_t t) {
+        const Task& tk = tasks[t];
+        const Cell& cell = cells_[tk.cell];
+        ScenarioConfig cfg = cell.cfg;  // private copy per task
+        cfg.seed = replication_seed(cell.cfg.seed, tk.cell, tk.rep);
+        return execute(cfg);
+      });
+
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Task& tk = tasks[t];
+    RepOutcome& out = outcomes_[cells_[tk.cell].first + tk.rep];
+    out.seed = replication_seed(cells_[tk.cell].cfg.seed, tk.cell, tk.rep);
+    if (!tried[t].ok()) {
+      out.error = tried[t].error;
+      continue;
+    }
+    out.metrics = std::move(*tried[t].value);
+    if (out.metrics->check_violations > 0) {
+      // The run finished but tripped invariants under kLogAndCount:
+      // keep the numbers for inspection, exclude them from statistics.
+      std::ostringstream oss;
+      oss << out.metrics->check_violations
+          << " invariant violation(s) (WMN_CHECK, log-and-count)";
+      out.error = oss.str();
+    }
+  }
+}
+
+std::span<const RepOutcome> SweepEngine::cell(std::size_t id) const {
+  WMN_CHECK(ran_, "cell() before run(): results not computed yet");
+  WMN_CHECK_LT(id, cells_.size(), "cell id out of range");
+  return {outcomes_.data() + cells_[id].first, cells_[id].n_reps};
+}
+
+std::vector<RunMetrics> SweepEngine::cell_metrics(std::size_t id) const {
+  std::vector<RunMetrics> out;
+  for (const RepOutcome& rep : cell(id)) {
+    if (rep.ok()) out.push_back(*rep.metrics);
+  }
+  return out;
+}
+
+std::size_t SweepEngine::task_count() const { return outcomes_.size(); }
+
+std::size_t SweepEngine::failed_count() const {
+  WMN_CHECK(ran_, "failed_count() before run()");
+  std::size_t n = 0;
+  for (const RepOutcome& rep : outcomes_) {
+    if (!rep.ok()) ++n;
+  }
+  return n;
+}
+
+std::string SweepEngine::failure_report() const {
+  WMN_CHECK(ran_, "failure_report() before run()");
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const Cell& cell = cells_[c];
+    for (std::size_t r = 0; r < cell.n_reps; ++r) {
+      const RepOutcome& rep = outcomes_[cell.first + r];
+      if (rep.ok()) continue;
+      oss << "  cell " << c;
+      if (!cell.label.empty()) oss << " (" << cell.label << ")";
+      oss << " rep " << r << " seed " << rep.seed << ": " << rep.error << "\n";
+    }
+  }
+  return oss.str();
+}
+
+// --------------------------------------------------------------------------
+// Replication + aggregation helpers
+// --------------------------------------------------------------------------
+
 std::vector<RunMetrics> run_replications(const ScenarioConfig& base,
                                          std::size_t n_reps, unsigned threads) {
-  return parallel_map(n_reps, threads, [base](std::size_t i) {
-    ScenarioConfig cfg = base;  // private copy per task
-    cfg.seed = base.seed + i;
-    Scenario scenario(cfg);
-    scenario.run();
-    return scenario.metrics();
-  });
+  SweepEngine engine(threads);
+  const std::size_t id = engine.add_cell(base, n_reps);
+  engine.run();
+  if (engine.failed_count() > 0) {
+    throw std::runtime_error("run_replications: " +
+                             std::to_string(engine.failed_count()) +
+                             " replication(s) failed:\n" +
+                             engine.failure_report());
+  }
+  return engine.cell_metrics(id);
 }
 
 std::vector<double> extract(std::span<const RunMetrics> reps,
@@ -32,6 +159,9 @@ stats::ConfidenceInterval ci(std::span<const RunMetrics> reps,
 
 std::string ci_str(std::span<const RunMetrics> reps, const MetricFn& fn,
                    int precision) {
+  // Every replication of the cell failed: say so instead of printing a
+  // fabricated zero.
+  if (reps.empty()) return "n/a";
   const auto c = ci(reps, fn);
   std::ostringstream oss;
   oss.setf(std::ios::fixed);
@@ -43,18 +173,55 @@ std::string ci_str(std::span<const RunMetrics> reps, const MetricFn& fn,
   return oss.str();
 }
 
+// --------------------------------------------------------------------------
+// Environment knobs
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Parse a positive integer environment value. Rejects (with a stderr
+// warning) anything but a fully-consumed, in-range, positive number:
+// "abc", "0", "-3", "3x", "" all fall back to the caller's default.
+std::optional<unsigned long long> env_positive(const char* name,
+                                               const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  const bool consumed = end != value && *end == '\0';
+  // strtoull silently negates "-3" into a huge value; reject any sign.
+  if (!consumed || errno == ERANGE || v == 0 ||
+      std::strchr(value, '-') != nullptr) {
+    std::fprintf(stderr,
+                 "[wmn] %s='%s' is not a positive integer; using default\n",
+                 name, value);
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
 std::size_t env_reps(std::size_t default_reps) {
   if (const char* s = std::getenv("WMN_REPS"); s != nullptr) {
-    const long v = std::strtol(s, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+    if (const auto v = env_positive("WMN_REPS", s); v.has_value()) {
+      return static_cast<std::size_t>(*v);
+    }
   }
   return default_reps;
 }
 
 unsigned env_threads() {
   if (const char* s = std::getenv("WMN_THREADS"); s != nullptr) {
-    const long v = std::strtol(s, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
+    if (const auto v = env_positive("WMN_THREADS", s); v.has_value()) {
+      if (*v > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr,
+                     "[wmn] WMN_THREADS=%s exceeds the representable range; "
+                     "using default\n",
+                     s);
+        return default_thread_count();
+      }
+      return static_cast<unsigned>(*v);
+    }
   }
   return default_thread_count();
 }

@@ -1,6 +1,7 @@
 #include "routing/aodv.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -290,7 +291,8 @@ void AodvAgent::handle_rreq(net::Packet packet, net::Address src) {
   if (selection_->allow_intermediate_reply()) {
     const RouteEntry* r = routes_.lookup(hdr.dest, now());
     if (r != nullptr && r->valid_seqno &&
-        (hdr.unknown_dest_seqno || r->dest_seqno >= hdr.dest_seqno)) {
+        (hdr.unknown_dest_seqno ||
+         seqno_newer_or_equal(r->dest_seqno, hdr.dest_seqno))) {
       rec.forward_decided = true;
       rreq_cache_.emplace(key, std::move(rec));
       ++counters_.rrep_intermediate;
@@ -383,8 +385,12 @@ void AodvAgent::destination_reply_due(RreqKey key) {
 void AodvAgent::send_rrep_as_destination(const RreqHeader& hdr,
                                          const RouteCandidate& cand) {
   // Destination sequence-number maintenance (RFC 3561 section 6.6.1,
-  // simplified: never answer with a seqno older than the request's).
-  seqno_ = std::max(seqno_ + 1, hdr.unknown_dest_seqno ? 0 : hdr.dest_seqno);
+  // simplified: never answer with a seqno circularly older than the
+  // request's).
+  ++seqno_;
+  if (!hdr.unknown_dest_seqno && seqno_newer(hdr.dest_seqno, seqno_)) {
+    seqno_ = hdr.dest_seqno;
+  }
 
   RrepHeader rep;
   rep.dest = self_;
@@ -430,6 +436,13 @@ void AodvAgent::handle_rrep(net::Packet packet, net::Address src) {
   neighbors_.refresh(src);
   upsert_neighbor_route(src);
 
+  // RREPs carry no TTL; transient reverse-route loops (reverse routes
+  // can be replaced while an RREP is in flight) would otherwise
+  // circulate one forever and wrap hop_count to 0 at 255.
+  if (hdr.hop_count == std::numeric_limits<std::uint8_t>::max()) {
+    ++counters_.rrep_dropped;
+    return;
+  }
   const auto my_hops = static_cast<std::uint8_t>(hdr.hop_count + 1);
   const RouteCandidate cand{hdr.metric, my_hops};
   const sim::Time lifetime = sim::Time::millis(
@@ -479,13 +492,14 @@ bool AodvAgent::update_route(net::Address dest, net::Address via,
   bool accept;
   if (e == nullptr) {
     accept = true;
-  } else if (e->valid_seqno && seqno_valid && seqno < e->dest_seqno) {
+  } else if (e->valid_seqno && seqno_valid &&
+             seqno_newer(e->dest_seqno, seqno)) {
     accept = false;  // stale information never overrides fresher state
   } else if (e->state == RouteState::kInvalid) {
     accept = true;
   } else if (!e->valid_seqno) {
     accept = true;
-  } else if (seqno_valid && seqno > e->dest_seqno) {
+  } else if (seqno_valid && seqno_newer(seqno, e->dest_seqno)) {
     accept = true;
   } else {
     accept = selection_->should_replace(RouteCandidate{e->metric, e->hop_count},
@@ -660,14 +674,14 @@ void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
     }
     auto inv = routes_.invalidate(d, now());
     if (!inv.has_value()) continue;
-    // Adopt the (possibly newer) unreachable seqno from the RERR.
+    // Adopt the (possibly circularly newer) unreachable seqno.
     if (RouteEntry* dead = routes_.find(d);
-        dead != nullptr && hdr.seqno[i] > dead->dest_seqno) {
+        dead != nullptr && seqno_newer(hdr.seqno[i], dead->dest_seqno)) {
       dead->dest_seqno = hdr.seqno[i];
       dead->valid_seqno = true;
     }
     propagate.push_back(d);
-    seqnos.push_back(std::max(inv->dest_seqno, hdr.seqno[i]));
+    seqnos.push_back(seqno_max(inv->dest_seqno, hdr.seqno[i]));
   }
   if (!propagate.empty()) send_rerr(propagate, seqnos);
 }

@@ -14,6 +14,27 @@
 
 namespace wmn::routing {
 
+// RFC 3561 §6.1 destination-sequence-number comparison. Seqnos live on
+// a 32-bit circle, so "newer" means the signed two's-complement delta
+// is positive: after wraparound, seqno 1 is newer than 0xFFFFFFFF even
+// though it is numerically smaller. Plain unsigned <,> would declare
+// every post-wrap seqno stale and freeze routes on the old state.
+[[nodiscard]] constexpr bool seqno_newer(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+
+[[nodiscard]] constexpr bool seqno_newer_or_equal(std::uint32_t a,
+                                                  std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+// The circularly-newer of two seqnos (e.g. RERR propagation advertises
+// the freshest unreachable seqno it knows).
+[[nodiscard]] constexpr std::uint32_t seqno_max(std::uint32_t a,
+                                                std::uint32_t b) {
+  return seqno_newer(a, b) ? a : b;
+}
+
 // Network-layer header on every data packet (IP-like: 20 bytes).
 struct DataHeader {
   static constexpr std::uint32_t kWireSize = 20;

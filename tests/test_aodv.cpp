@@ -361,5 +361,47 @@ TEST(Aodv, SeqnoMonotonicityPreventsStaleRoutes) {
   EXPECT_GT(e2->dest_seqno, seq_before);
 }
 
+TEST(Aodv, SeqnoWraparoundAcceptsPostRolloverRoutes) {
+  // RFC 3561 section 6.1 regression: a destination whose sequence
+  // number rolled over past 0xFFFFFFFF advertises a small seqno that
+  // is *fresher* than the huge pre-wrap value. Plain unsigned
+  // comparison rejects the update and pins the stale route forever;
+  // circular comparison must accept it.
+  RoutingBed tb({{0, 0}, {200, 0}});
+
+  tb.sim.schedule(sim::Time::millis(100.0), [&] {
+    // Node 0 holds a pre-wrap route to (fictional) destination 9.
+    RouteEntry stale;
+    stale.dest = net::Address(9);
+    stale.next_hop = net::Address(1);
+    stale.hop_count = 5;
+    stale.dest_seqno = 0xFFFFFFF0u;
+    stale.valid_seqno = true;
+    stale.state = RouteState::kValid;
+    stale.expires = sim::Time::seconds(100.0);
+    tb.agents[0]->routes().upsert(stale);
+  });
+
+  tb.sim.schedule(sim::Time::millis(200.0), [&] {
+    // Node 1 relays an RREP for destination 9 whose seqno wrapped.
+    RrepHeader hdr;
+    hdr.dest = net::Address(9);
+    hdr.dest_seqno = 2;  // post-rollover: circularly newer than 0xFFFFFFF0
+    hdr.origin = net::Address(0);
+    hdr.hop_count = 1;
+    hdr.lifetime_ms = 5000;
+    net::Packet pkt = tb.factory.make(0, tb.sim.now());
+    pkt.push(hdr);
+    tb.macs[1]->enqueue(std::move(pkt), net::Address(0));
+  });
+
+  tb.sim.run_until(sim::Time::seconds(1.0));
+
+  RouteEntry* e = tb.agents[0]->routes().find(net::Address(9));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->dest_seqno, 2u) << "post-wrap seqno rejected as stale";
+  EXPECT_EQ(e->hop_count, 2u);  // the fresher 2-hop path replaced 5 hops
+}
+
 }  // namespace
 }  // namespace wmn::routing

@@ -9,6 +9,7 @@
 
 #include "exp/metrics.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "sim/fingerprint.hpp"
 
 namespace wmn {
@@ -78,6 +79,35 @@ TEST(Determinism, DifferentSeedDifferentFingerprint) {
   // the metric digest folds dozens of RNG-driven quantities — equality
   // would mean the seed no longer reaches the simulation.
   EXPECT_NE(a.metrics_fp, b.metrics_fp);
+}
+
+// The tentpole contract of the persistent-pool sweep engine: a sweep
+// drained by N long-lived workers must yield the same per-replication
+// fingerprints as the same sweep run on one thread. Seeds are a pure
+// function of (base, point, rep), so thread count and task execution
+// order cannot leak into the results.
+TEST(Determinism, PoolVsSerialFingerprintsPerReplication) {
+  for (core::Protocol protocol :
+       {core::Protocol::kClnlr, core::Protocol::kAodvFlood}) {
+    exp::ScenarioConfig cfg;
+    cfg.n_nodes = 25;
+    cfg.area_width_m = 600.0;
+    cfg.area_height_m = 600.0;
+    cfg.traffic.n_flows = 4;
+    cfg.traffic.rate_pps = 4.0;
+    cfg.warmup = sim::Time::seconds(3.0);
+    cfg.traffic_time = sim::Time::seconds(8.0);
+    cfg.protocol = protocol;
+    cfg.seed = 42;
+    const auto serial = exp::run_replications(cfg, 3, 1);
+    const auto pooled = exp::run_replications(cfg, 3, 4);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].seed, exp::replication_seed(42, 0, i));
+      EXPECT_EQ(exp::fingerprint(serial[i]), exp::fingerprint(pooled[i]))
+          << core::protocol_name(protocol) << " rep " << i;
+    }
+  }
 }
 
 TEST(Determinism, FingerprintOrderSensitive) {

@@ -69,6 +69,30 @@ TEST(Messages, HeadersRoundTripThroughPacket) {
   EXPECT_DOUBLE_EQ(p.pop<LoadTlv>().load, 0.42);
 }
 
+TEST(Messages, SeqnoComparisonIsCircularPerRfc3561) {
+  // RFC 3561 section 6.1: sequence numbers live on a signed-rollover
+  // circle. Plain unsigned comparison inverts freshness at the
+  // 0xFFFFFFFF -> 0 wrap; the helpers must not.
+  EXPECT_TRUE(seqno_newer(1, 0));
+  EXPECT_FALSE(seqno_newer(0, 1));
+  EXPECT_FALSE(seqno_newer(5, 5));
+
+  // Across the wrap: small numbers are *newer* than numbers just
+  // below 2^32, exactly where `a > b` on uint32_t gets it backwards.
+  EXPECT_TRUE(seqno_newer(0, 0xFFFFFFFFu));
+  EXPECT_TRUE(seqno_newer(3, 0xFFFFFFF0u));
+  EXPECT_FALSE(seqno_newer(0xFFFFFFFFu, 0));
+  EXPECT_FALSE(seqno_newer(0xFFFFFFF0u, 3));
+
+  EXPECT_TRUE(seqno_newer_or_equal(5, 5));
+  EXPECT_TRUE(seqno_newer_or_equal(0, 0xFFFFFFFFu));
+  EXPECT_FALSE(seqno_newer_or_equal(0xFFFFFFFFu, 0));
+
+  EXPECT_EQ(seqno_max(0, 0xFFFFFFFFu), 0u);
+  EXPECT_EQ(seqno_max(0xFFFFFFFFu, 0), 0u);
+  EXPECT_EQ(seqno_max(7, 9), 9u);
+}
+
 TEST(Messages, ControlPacketsAreSmallerThanData) {
   // The on-demand overhead economy only makes sense if control frames
   // are an order of magnitude smaller than 512-byte data packets.
