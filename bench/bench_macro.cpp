@@ -1,0 +1,66 @@
+// Macro perf benchmark: full-stack simulator throughput on the T1
+// reference mesh, pinned so the number is comparable across commits.
+//
+// The scenario is the 100-node / 1000x1000 m perturbed-grid mesh from
+// bench/common.hpp at 6 pkt/s per flow — the congestion operating point
+// where the F3/F4 curves bend and the event rate is dominated by the
+// scheduler/packet hot path this benchmark exists to track. Unlike the
+// figure benches this config is hard-coded (WMN_QUICK is deliberately
+// ignored): a quick-mode run would produce numbers incomparable with
+// bench/baseline.json.
+//
+// Emits results/BENCH_macro.json (see perf_json.hpp) for the CI perf
+// gate; run docs are in docs/TOOLING.md ("The perf harness").
+#include <benchmark/benchmark.h>
+
+#include "core/protocols.hpp"
+#include "exp/scenario.hpp"
+#include "perf_json.hpp"
+
+namespace {
+
+using namespace wmn;
+
+exp::ScenarioConfig reference_config(core::Protocol protocol) {
+  exp::ScenarioConfig cfg;
+  cfg.n_nodes = 100;
+  cfg.area_width_m = 1000.0;
+  cfg.area_height_m = 1000.0;
+  cfg.placement = exp::Placement::kPerturbedGrid;
+  cfg.placement_jitter_m = 60.0;
+  cfg.traffic.n_flows = 10;
+  cfg.traffic.rate_pps = 6.0;  // the congestion point
+  cfg.traffic.packet_bytes = 512;
+  cfg.warmup = sim::Time::seconds(5.0);
+  cfg.traffic_time = sim::Time::seconds(25.0);
+  cfg.drain = sim::Time::seconds(2.0);
+  cfg.seed = 1000;
+  cfg.protocol = protocol;
+  return cfg;
+}
+
+void BM_Reference100Nodes6pps(benchmark::State& state) {
+  const auto protocol = static_cast<core::Protocol>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::Scenario s(reference_config(protocol));
+    s.run();
+    events += s.simulator().events_executed();
+  }
+  state.SetLabel(core::protocol_name(protocol));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_events"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_Reference100Nodes6pps)
+    ->Arg(static_cast<int>(core::Protocol::kClnlr))
+    ->Arg(static_cast<int>(core::Protocol::kAodvFlood))
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return wmnbench::run_benchmark_main(argc, argv, "macro");
+}

@@ -1,10 +1,15 @@
 // Kernel micro-benchmarks (google-benchmark): the hot paths whose cost
 // bounds how large a mesh the simulator can sweep.
+//
+// Emits results/BENCH_micro.json (see perf_json.hpp) for the CI perf
+// gate; the pinned subset CI runs is listed in .github/workflows/ci.yml.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
 #include "exp/scenario.hpp"
+#include "mac/mac_header.hpp"
+#include "perf_json.hpp"
 #include "net/packet.hpp"
 #include "phy/propagation.hpp"
 #include "routing/messages.hpp"
@@ -86,6 +91,38 @@ void BM_PacketBroadcastCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketBroadcastCopy);
 
+// Steady-state arena churn: the per-hop header cycle of a forwarded
+// data frame (push net + mac, pop both at the receiver) once the free
+// list is warm — the path every transmitted packet pays per hop.
+void BM_PacketArenaChurn(benchmark::State& state) {
+  net::PacketFactory factory;
+  for (auto _ : state) {
+    net::Packet p = factory.make(512, sim::Time::zero());
+    p.push(routing::DataHeader{});
+    p.push(mac::MacHeader{});
+    net::Packet copy = p;  // receiver-side share
+    benchmark::DoNotOptimize(copy.pop<mac::MacHeader>());
+    benchmark::DoNotOptimize(copy.pop<routing::DataHeader>());
+  }
+  state.counters["arena_nodes"] = benchmark::Counter(
+      static_cast<double>(factory.arena().capacity_nodes()));
+}
+BENCHMARK(BM_PacketArenaChurn);
+
+// Steady-state scheduler churn: schedule/cancel/fire cycling through
+// recycled slots — the timer pattern the MAC and routing layers run.
+void BM_SchedulerSlotRecycle(benchmark::State& state) {
+  sim::Scheduler s;
+  for (auto _ : state) {
+    const sim::EventId keep = s.schedule(sim::Time::nanos(10), [] {});
+    const sim::EventId drop = s.schedule(sim::Time::nanos(20), [] {});
+    s.cancel(drop);
+    benchmark::DoNotOptimize(s.pending(keep));
+    while (!s.empty()) benchmark::DoNotOptimize(s.pop().at);
+  }
+}
+BENCHMARK(BM_SchedulerSlotRecycle);
+
 void BM_PropagationLogDistance(benchmark::State& state) {
   phy::LogDistanceModel m;
   double d = 1.0;
@@ -139,4 +176,6 @@ BENCHMARK(BM_ScenarioEndToEnd)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return wmnbench::run_benchmark_main(argc, argv, "micro");
+}

@@ -18,6 +18,7 @@
 
 #include "core/check.hpp"
 #include "exp/sweep.hpp"
+#include "results_dir.hpp"
 #include "stats/table.hpp"
 
 namespace wmnbench {
@@ -65,8 +66,11 @@ inline BenchEnv announce(const std::string& id, const std::string& title) {
 
 inline void finish(const stats::Table& table, const std::string& csv_name) {
   table.print(std::cout);
-  if (table.save_csv(csv_name)) {
-    std::cout << "\n[csv written: " << csv_name << "]\n";
+  // CSVs land under results/ (WMN_RESULTS_DIR to override) instead of
+  // the invocation CWD, so runs from the repo root cannot litter it.
+  const std::string csv_path = results_path(csv_name);
+  if (table.save_csv(csv_path)) {
+    std::cout << "\n[csv written: " << csv_path << "]\n";
   }
   std::cout.flush();
 }

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf summaries against a committed baseline.
+
+Usage:
+    perf_gate.py --baseline bench/baseline.json CURRENT.json [CURRENT2.json...]
+                 [--tolerance 0.25]
+
+The baseline and the current files use the schema written by
+bench/perf_json.hpp (schema_version 1). Benchmarks are matched by name;
+the gated quantity is per-iteration real time:
+
+  * current > baseline * (1 + tolerance)  ->  REGRESSION, exit 1
+  * current < baseline * (1 - tolerance)  ->  warning: faster than
+    baseline; suggest rebaselining so future regressions are caught
+    from the new, better level
+  * baseline entries that none of the current files ran are reported
+    and skipped (CI runs a pinned subset of bench_micro).
+
+Rebaselining (after an intentional perf change): run the benches, then
+merge the fresh summaries into the baseline with
+    perf_gate.py --rebaseline bench/baseline.json NEW.json [NEW2.json...]
+Only uses the Python standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load_summary(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        sys.exit(f"{path}: schema_version {version} != expected {SCHEMA_VERSION}")
+    if not isinstance(data.get("benchmarks"), list):
+        sys.exit(f"{path}: missing 'benchmarks' array")
+    return data
+
+
+def index_benchmarks(data: dict) -> dict[str, dict]:
+    return {b["name"]: b for b in data["benchmarks"]}
+
+
+def fmt_time(ns: float) -> str:
+    if ns < 1e3:
+        return f"{ns:.1f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f} us"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f} ms"
+    return f"{ns / 1e9:.3f} s"
+
+
+def gate(args: argparse.Namespace) -> int:
+    baseline = index_benchmarks(load_summary(args.baseline))
+    current: dict[str, dict] = {}
+    for path in args.current:
+        current.update(index_benchmarks(load_summary(path)))
+
+    regressions, faster, skipped = [], [], []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            skipped.append(name)
+            continue
+        base_ns, cur_ns = base["real_time_ns"], cur["real_time_ns"]
+        if base_ns <= 0:
+            skipped.append(name)
+            continue
+        ratio = cur_ns / base_ns
+        line = (f"{name}: {fmt_time(cur_ns)} vs baseline "
+                f"{fmt_time(base_ns)} ({ratio - 1.0:+.1%})")
+        if ratio > 1.0 + args.tolerance:
+            regressions.append(line)
+        elif ratio < 1.0 - args.tolerance:
+            faster.append(line)
+        else:
+            print(f"  ok      {line}")
+
+    for name in skipped:
+        print(f"  skipped {name} (not in the current run)")
+    for line in faster:
+        print(f"  FASTER  {line}")
+    if faster:
+        print(f"\n{len(faster)} benchmark(s) are >{args.tolerance:.0%} faster "
+              "than the baseline. If this speedup is intentional, rebaseline "
+              "so the gate tracks the new level:\n"
+              f"    bench/perf_gate.py --rebaseline {args.baseline} "
+              + " ".join(args.current))
+    if regressions:
+        print(f"\nPERF REGRESSION: {len(regressions)} benchmark(s) are "
+              f">{args.tolerance:.0%} slower than {args.baseline}:")
+        for line in regressions:
+            print(f"  SLOWER  {line}")
+        print("\nIf the slowdown is intentional and accepted, rebaseline:\n"
+              f"    bench/perf_gate.py --rebaseline {args.baseline} "
+              + " ".join(args.current))
+        return 1
+    print(f"\nperf gate passed ({len(baseline) - len(skipped)} compared, "
+          f"{len(skipped)} skipped, tolerance ±{args.tolerance:.0%})")
+    return 0
+
+
+def rebaseline(args: argparse.Namespace) -> int:
+    merged = index_benchmarks(load_summary(args.baseline))
+    for path in args.current:
+        merged.update(index_benchmarks(load_summary(path)))
+    out = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "baseline",
+        "benchmarks": [merged[name] for name in sorted(merged)],
+    }
+    with open(args.baseline, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print(f"rebaselined {args.baseline} with {len(merged)} benchmark(s)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline.json",
+                        help="committed reference summary")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="merge the current summaries into the baseline "
+                             "instead of gating")
+    parser.add_argument("current", nargs="+",
+                        help="BENCH_*.json summaries from the current build")
+    args = parser.parse_args()
+    return rebaseline(args) if args.rebaseline else gate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+// Machine-readable perf summaries for the benchmark binaries.
+//
+// google-benchmark already emits its full JSON via --benchmark_out; the
+// problem is that its schema is verbose, version-drifting, and awkward
+// to diff in CI. SummaryReporter additionally writes a small,
+// schema-versioned summary — one object per benchmark with the fields
+// the perf gate compares — to results/BENCH_<suite>.json (override with
+// WMN_BENCH_JSON=path). bench/perf_gate.py consumes these summaries and
+// bench/baseline.json stores the committed reference; see
+// docs/TOOLING.md ("The perf harness").
+//
+// Schema (bump kSchemaVersion on any incompatible change):
+//   {
+//     "schema_version": 1,
+//     "suite": "micro" | "macro",
+//     "benchmarks": [
+//       { "name": "...", "iterations": N,
+//         "real_time_ns": R, "cpu_time_ns": C,
+//         "counters": { "events/s": X, ... } }
+//     ]
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "results_dir.hpp"
+
+namespace wmnbench {
+
+inline constexpr int kSchemaVersion = 1;
+
+class SummaryReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Collected {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_time_ns = 0.0;
+    double cpu_time_ns = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Collected c;
+      c.name = run.run_name.str();
+      c.iterations = static_cast<std::int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      c.real_time_ns = run.real_accumulated_time / iters * 1e9;
+      c.cpu_time_ns = run.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [name, counter] : run.counters) {
+        c.counters.emplace_back(name, static_cast<double>(counter));
+      }
+      collected_.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Collected>& collected() const {
+    return collected_;
+  }
+
+  bool write_summary(const std::string& suite, std::ostream& out) const {
+    out << "{\n  \"schema_version\": " << kSchemaVersion << ",\n  \"suite\": \""
+        << escape(suite) << "\",\n  \"benchmarks\": [";
+    bool first = true;
+    for (const Collected& c : collected_) {
+      out << (first ? "" : ",") << "\n    {\"name\": \"" << escape(c.name)
+          << "\", \"iterations\": " << c.iterations
+          << ", \"real_time_ns\": " << c.real_time_ns
+          << ", \"cpu_time_ns\": " << c.cpu_time_ns << ", \"counters\": {";
+      bool cfirst = true;
+      for (const auto& [name, value] : c.counters) {
+        out << (cfirst ? "" : ", ") << "\"" << escape(name) << "\": " << value;
+        cfirst = false;
+      }
+      out << "}}";
+      first = false;
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::vector<Collected> collected_;
+};
+
+// Shared main() body for the perf binaries: run benchmarks under the
+// summary reporter, then write BENCH_<suite>.json. Returns the process
+// exit code.
+inline int run_benchmark_main(int argc, char** argv, const std::string& suite) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  SummaryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("WMN_BENCH_JSON");
+  const std::string path = (env != nullptr && *env != '\0')
+                               ? std::string(env)
+                               : results_path("BENCH_" + suite + ".json");
+  std::ofstream out(path);
+  if (!out || !reporter.write_summary(suite, out)) {
+    std::cerr << "perf summary: failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "[perf summary written: " << path << "]\n";
+  return 0;
+}
+
+}  // namespace wmnbench

@@ -1,0 +1,29 @@
+// Where bench outputs land.
+//
+// Benches used to scatter CSVs into the current directory (historically
+// the repo root, which then got committed). Everything now goes under
+// one results directory — `results/` relative to the invocation CWD
+// (i.e. `build/results/` when run from the build tree), overridable
+// with WMN_RESULTS_DIR.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace wmnbench {
+
+inline std::filesystem::path results_dir() {
+  const char* env = std::getenv("WMN_RESULTS_DIR");
+  std::filesystem::path dir =
+      (env != nullptr && *env != '\0') ? env : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; write reports
+  return dir;
+}
+
+inline std::string results_path(const std::string& filename) {
+  return (results_dir() / filename).string();
+}
+
+}  // namespace wmnbench

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
         simr.schedule(sim::Time::millis(i * 12.0), [&scenario, src, dst] {
           // Raw sends bypass the flow registry: this is interference,
           // not measured traffic.
-          net::Packet p(900'000 + src, 512, scenario.simulator().now());
+          net::Packet p =
+              scenario.packet_factory().make(512, scenario.simulator().now());
           scenario.agent(src).send(std::move(p), net::Address(dst));
         });
       }

@@ -94,6 +94,8 @@ class Scenario {
   }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] phy::WirelessChannel& channel() { return *channel_; }
+  // Factory for injecting extra (unmeasured) traffic into the mesh.
+  [[nodiscard]] net::PacketFactory& packet_factory() { return factory_; }
 
  private:
   struct NodeStack {

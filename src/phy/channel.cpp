@@ -1,5 +1,7 @@
 #include "phy/channel.hpp"
 
+#include <utility>
+
 #include "core/check.hpp"
 
 namespace wmn::phy {
@@ -23,6 +25,32 @@ double WirelessChannel::link_rx_power_dbm(const WifiPhy& tx,
                                     rx.position(now), tx.node_id(), rx.node_id());
 }
 
+std::uint32_t WirelessChannel::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pending_[slot].next_free;
+    pending_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  pending_.emplace_back();
+  return static_cast<std::uint32_t>(pending_.size() - 1);
+}
+
+void WirelessChannel::deliver(std::uint32_t slot) {
+  PendingDelivery& d = pending_[slot];
+  WMN_CHECK(d.packet.has_value(), "delivery slot fired twice");
+  net::Packet packet = std::move(*d.packet);
+  WifiPhy* rx = d.rx;
+  const double p_dbm = d.rx_power_dbm;
+  const sim::Time duration = d.duration;
+  d.packet.reset();
+  d.rx = nullptr;
+  d.next_free = free_head_;
+  free_head_ = slot;
+  --in_flight_;
+  rx->begin_arrival(std::move(packet), p_dbm, duration);
+}
+
 void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
                                sim::Time duration) {
   ++counters_.transmissions;
@@ -41,10 +69,16 @@ void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
     ++counters_.copies_delivered;
     const double dist = tx_pos.distance_to(rx_pos);
     const sim::Time delay = sim::Time::seconds(dist / kSpeedOfLight);
-    // Each receiver gets its own (cheap, header-sharing) packet copy.
-    sim_.schedule(delay, [rx, pkt = packet, p_dbm, duration]() mutable {
-      rx->begin_arrival(std::move(pkt), p_dbm, duration);
-    });
+    // Each receiver gets its own (cheap, header-sharing) packet copy,
+    // parked in a recycled slot until the propagation delay elapses.
+    const std::uint32_t slot = acquire_slot();
+    PendingDelivery& d = pending_[slot];
+    d.packet.emplace(packet);
+    d.rx = rx;
+    d.rx_power_dbm = p_dbm;
+    d.duration = duration;
+    ++in_flight_;
+    sim_.schedule(delay, [this, slot] { deliver(slot); });
   }
 }
 

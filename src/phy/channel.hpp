@@ -6,9 +6,17 @@
 // light delay) to every radio above the detection floor. Whether the
 // arrival is a decodable frame, carrier-sense energy, or interference
 // is the *receiving* radio's business (see WifiPhy).
+//
+// In-flight copies are parked in a free-listed slot pool rather than
+// captured inside the scheduled event: the event captures only (this,
+// slot index), which keeps it inside EventFn's inline buffer — a packet
+// capture would not fit, by design — and reuses delivery storage
+// instead of allocating per receiver.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -46,10 +54,28 @@ class WirelessChannel {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // Copies currently propagating (diagnostics / tests).
+  [[nodiscard]] std::size_t deliveries_in_flight() const { return in_flight_; }
+
  private:
+  struct PendingDelivery {
+    std::optional<net::Packet> packet;
+    WifiPhy* rx = nullptr;
+    double rx_power_dbm = 0.0;
+    sim::Time duration{};
+    std::uint32_t next_free = kNilSlot;
+  };
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  std::uint32_t acquire_slot();
+  void deliver(std::uint32_t slot);
+
   sim::Simulator& sim_;
   std::unique_ptr<PropagationModel> propagation_;
   std::vector<WifiPhy*> radios_;
+  std::vector<PendingDelivery> pending_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t in_flight_ = 0;
   Counters counters_;
 };
 

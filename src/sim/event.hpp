@@ -2,16 +2,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
-#include "sim/time.hpp"
+#include "sim/inplace_function.hpp"
 
 namespace wmn::sim {
 
 // Work item executed when simulation time reaches the event's stamp.
-using EventFn = std::function<void()>;
+// Allocation-free: captures larger than kEventCaptureBytes are rejected
+// at compile time — restructure the call site (capture an index or a
+// handle) instead of raising the capacity, so the event loop's zero-
+// allocation guarantee stays intact.
+inline constexpr std::size_t kEventCaptureBytes = 48;
+using EventFn = InplaceFunction<void(), kEventCaptureBytes>;
 
 // Opaque handle identifying a scheduled event; usable for cancellation.
+// Encodes (slot, generation) in the scheduler's slab: a stale id whose
+// slot was recycled carries an old generation and cancels nothing.
 // Id 0 is reserved as "invalid / never scheduled".
 class EventId {
  public:

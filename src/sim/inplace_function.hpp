@@ -1,0 +1,106 @@
+// Fixed-capacity, allocation-free callable wrapper for the event loop.
+//
+// std::function heap-allocates any callable whose captures exceed the
+// implementation's small-buffer (16 bytes on libstdc++), which put one
+// malloc/free pair on every scheduled event. InplaceFunction stores the
+// callable inline in a fixed buffer and refuses — at compile time — any
+// callable that does not fit, so the event hot path provably never
+// allocates. Call sites that trip the capacity check must shrink their
+// captures (capture a slot index or handle instead of a fat object);
+// see phy::WirelessChannel::transmit for the pattern.
+//
+// Move-only (like the callables it carries: packets, timers); moves are
+// required to be noexcept so the scheduler's heap operations keep the
+// strong guarantee.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "core/check.hpp"
+
+namespace wmn::sim {
+
+template <typename Signature, std::size_t Capacity>
+class InplaceFunction;  // primary template undefined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InplaceFunction() = default;
+
+  // Only callables that fit the inline buffer are accepted; the
+  // requires-clause makes the rejection visible to traits
+  // (std::is_constructible_v), which the tests pin down.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...> &&
+             sizeof(std::remove_cvref_t<F>) <= Capacity)
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callables must be nothrow-movable (the scheduler moves "
+                  "them during heap maintenance)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = &vtable_for<Fn>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) vt_->relocate(buf_, other.buf_);
+    other.vt_ = nullptr;
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this == &other) return *this;
+    if (vt_ != nullptr) vt_->destroy(buf_);
+    vt_ = other.vt_;
+    if (vt_ != nullptr) vt_->relocate(buf_, other.buf_);
+    other.vt_ = nullptr;
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() {
+    if (vt_ != nullptr) vt_->destroy(buf_);
+  }
+
+  R operator()(Args... args) {
+    WMN_CHECK_NOTNULL(vt_, "invoking an empty InplaceFunction");
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable_for = {
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace wmn::sim

@@ -6,23 +6,49 @@
 
 namespace wmn::sim {
 
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  WMN_CHECK(slots_.size() < kNilSlot, "scheduler slot slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = EventFn{};  // drop captures now, not when the entry surfaces
+  ++s.gen;           // invalidates every outstanding id / heap entry
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_count_;
+}
+
 EventId Scheduler::schedule(Time at, EventFn fn) {
   WMN_CHECK(!at.is_negative(), "events cannot be scheduled before t=0");
   const std::uint64_t seq = ++next_seq_;  // ids start at 1; 0 = invalid
-  heap_.push_back(Entry{at, seq, std::move(fn)});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(Entry{at, seq, slot, s.gen});
   sift_up(heap_.size() - 1);
-  pending_.insert(seq);
-  return EventId(seq);
+  ++live_count_;
+  return make_id(slot, s.gen);
 }
 
 void Scheduler::cancel(EventId id) {
   if (!id.valid()) return;
-  pending_.erase(id.value());
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= slots_.size() || slots_[slot].gen != id_gen(id)) return;
+  release_slot(slot);  // heap entry goes stale; dropped when it surfaces
 }
 
 void Scheduler::drop_dead_top() {
-  while (!heap_.empty() && !pending_.contains(heap_[0].seq)) {
-    heap_[0] = std::move(heap_.back());
+  while (!heap_.empty() && stale(heap_[0])) {
+    heap_[0] = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
   }
@@ -36,17 +62,21 @@ Time Scheduler::next_time() {
 Scheduler::Fired Scheduler::pop() {
   drop_dead_top();
   WMN_CHECK(!heap_.empty(), "pop() on empty scheduler");
-  Fired out{heap_[0].at, std::move(heap_[0].fn)};
-  pending_.erase(heap_[0].seq);
-  heap_[0] = std::move(heap_.back());
+  const Entry top = heap_[0];
+  Fired out{top.at, std::move(slots_[top.slot].fn)};
+  release_slot(top.slot);
+  heap_[0] = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
   return out;
 }
 
 void Scheduler::clear() {
+  for (const Entry& e : heap_) {
+    if (!stale(e)) release_slot(e.slot);
+  }
   heap_.clear();
-  pending_.clear();
+  WMN_CHECK_EQ(live_count_, std::size_t{0}, "clear() left live slots");
 }
 
 void Scheduler::sift_up(std::size_t i) {

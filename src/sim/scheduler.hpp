@@ -4,13 +4,19 @@
 // the same instant execute in the order they were scheduled, which the
 // MAC layer relies on for deterministic slot resolution.
 //
-// Cancellation is lazy: a cancelled entry stays in the heap and is
-// discarded when it reaches the top. cancel() is O(1); the pending-id
-// set makes cancel-after-fire an exact no-op.
+// Storage: callables live in a slab of generation-tagged slots recycled
+// through a free list; the heap itself holds small (time, seq, slot,
+// gen) entries. Cancellation is O(1) and lazy — it releases the slot
+// immediately (bumping its generation) and leaves the heap entry to be
+// discarded when it surfaces, recognized by its stale generation. No
+// hashing anywhere: pending() and the dead-entry test are one array
+// index plus one integer compare. Together with the allocation-free
+// EventFn this makes schedule/cancel/pop malloc-free after the slab and
+// heap reach steady-state size.
 #pragma once
 
 #include <cstddef>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -28,20 +34,22 @@ class Scheduler {
   EventId schedule(Time at, EventFn fn);
 
   // Remove a pending event; no-op on fired, cancelled, or invalid ids.
+  // Releases the callable (and anything it captures) eagerly.
   void cancel(EventId id);
 
   // True iff `id` is scheduled and not yet fired or cancelled.
   [[nodiscard]] bool pending(EventId id) const {
-    return id.valid() && pending_.contains(id.value());
+    const std::uint32_t slot = id_slot(id);
+    return slot < slots_.size() && slots_[slot].gen == id_gen(id);
   }
 
   // True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
 
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
 
   // Timestamp of the next live event; Time::max() when empty.
-  // Compacts cancelled heap tops as a side effect.
+  // Compacts stale heap tops as a side effect.
   [[nodiscard]] Time next_time();
 
   // Remove and return the next live event. Precondition: !empty().
@@ -58,11 +66,37 @@ class Scheduler {
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
 
  private:
+  // A slot whose generation matches a heap entry / EventId is live; the
+  // generation is bumped whenever the slot is released (fire or
+  // cancel), which invalidates every outstanding reference at once.
+  // (A stale id could only alias after the same slot cycles through
+  // 2^32 generations while the id is held — not a practical concern.)
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNilSlot;
+  };
+
   struct Entry {
     Time at;
-    std::uint64_t seq;  // doubles as the EventId payload
-    EventFn fn;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  // EventId layout: high 32 bits generation, low 32 bits slot + 1 (so
+  // id 0 stays the invalid sentinel).
+  static constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return EventId((std::uint64_t{gen} << 32) | (slot + 1));
+  }
+  static constexpr std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id.value() & 0xFFFFFFFFu) - 1;
+  }
+  static constexpr std::uint32_t id_gen(EventId id) {
+    return static_cast<std::uint32_t>(id.value() >> 32);
+  }
 
   // Min-heap predicate on (time, seq).
   static bool later(const Entry& a, const Entry& b) {
@@ -70,12 +104,20 @@ class Scheduler {
     return a.seq > b.seq;
   }
 
+  [[nodiscard]] bool stale(const Entry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   void drop_dead_top();
 
   std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,159 @@
+#include "sim/inplace_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/event.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wmn::sim {
+namespace {
+
+// Global operator-new hook: counts heap allocations so tests can assert
+// a region of code performed none. Counting only — never changes
+// behaviour — so it is safe under ASan/TSan too.
+std::size_t g_new_calls = 0;
+
+struct AllocationCounter {
+  std::size_t start;
+  AllocationCounter() : start(g_new_calls) {}
+  std::size_t count() const { return g_new_calls - start; }
+};
+
+}  // namespace
+}  // namespace wmn::sim
+
+void* operator new(std::size_t size) {
+  ++wmn::sim::g_new_calls;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++wmn::sim::g_new_calls;
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace wmn::sim {
+namespace {
+
+using Fn = InplaceFunction<int(int), 48>;
+
+TEST(InplaceFunction, EmptyByDefault) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, InvokesStatelessLambda) {
+  Fn f = [](int x) { return x * 2; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(InplaceFunction, InvokesCapturingLambda) {
+  int base = 100;
+  Fn f = [base](int x) { return base + x; };
+  EXPECT_EQ(f(7), 107);
+}
+
+TEST(InplaceFunction, ConstructionDoesNotAllocate) {
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;  // 32 bytes of captures
+  AllocationCounter allocs;
+  Fn f = [a, b, c, d](int x) {
+    return static_cast<int>(a + b + c + d) + x;
+  };
+  EXPECT_EQ(f(0), 10);
+  EXPECT_EQ(allocs.count(), 0u)
+      << "an inplace function must never touch the heap";
+}
+
+TEST(InplaceFunction, MovePreservesStateAndEmptiesSource) {
+  int base = 5;
+  Fn f = [base](int x) { return base + x; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(1), 6);
+}
+
+TEST(InplaceFunction, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InplaceFunction<void(), 48> f = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+    InplaceFunction<void(), 48> g = [] {};
+    f = std::move(g);  // old capture must be destroyed now
+    EXPECT_EQ(counter.use_count(), 1);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceFunction, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InplaceFunction<void(), 48> f = [counter] { ++*counter; };
+    f();
+    EXPECT_EQ(*counter, 1);
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+// The size constraint is part of the overload set (a requires-clause,
+// not an internal static_assert), so a too-large capture is visible to
+// is_constructible_v instead of being a hard error: this is what keeps
+// "capture must fit in kEventCaptureBytes" testable.
+TEST(InplaceFunction, RejectsOversizedCapturesAtCompileTime) {
+  struct Big {
+    unsigned char blob[kEventCaptureBytes + 1];
+    void operator()() const {}
+  };
+  struct Fits {
+    unsigned char blob[kEventCaptureBytes];
+    void operator()() const {}
+  };
+  static_assert(!std::is_constructible_v<EventFn, Big>,
+                "captures over kEventCaptureBytes must not compile");
+  static_assert(std::is_constructible_v<EventFn, Fits>,
+                "captures of exactly kEventCaptureBytes must compile");
+  SUCCEED();
+}
+
+TEST(InplaceFunction, EventFnCapacityMatchesContract) {
+  static_assert(std::is_same_v<EventFn, InplaceFunction<void(), kEventCaptureBytes>>);
+  static_assert(kEventCaptureBytes == 48);
+  SUCCEED();
+}
+
+TEST(InplaceFunction, SchedulingDoesNotAllocatePerEventAfterWarmup) {
+  Scheduler s;
+  // Warm up: let the slot slab and heap vector reach steady-state size.
+  for (int i = 0; i < 64; ++i) {
+    s.schedule(Time::nanos(i), [] {});
+  }
+  while (!s.empty()) s.pop().fn();
+
+  int fired = 0;
+  AllocationCounter allocs;
+  for (int i = 0; i < 64; ++i) {
+    s.schedule(Time::nanos(i), [&fired] { ++fired; });
+  }
+  while (!s.empty()) s.pop().fn();
+  EXPECT_EQ(fired, 64);
+  EXPECT_EQ(allocs.count(), 0u)
+      << "steady-state schedule/pop must not allocate";
+}
+
+}  // namespace
+}  // namespace wmn::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -105,6 +106,62 @@ TEST(Scheduler, TotalScheduledCounts) {
   Scheduler s;
   for (int i = 0; i < 5; ++i) s.schedule(Time::zero(), [] {});
   EXPECT_EQ(s.total_scheduled(), 5u);
+}
+
+// EventIds carry a generation tag: an id whose slot was recycled must
+// go stale rather than aliasing the event now occupying the slot.
+TEST(Scheduler, StaleIdAfterFireCannotCancelRecycledSlot) {
+  Scheduler s;
+  const EventId old_id = s.schedule(Time::seconds(1.0), [] {});
+  (void)s.pop();  // fires, releasing the slot to the free list
+  bool ran = false;
+  const EventId new_id = s.schedule(Time::seconds(2.0), [&] { ran = true; });
+  s.cancel(old_id);  // stale: must NOT hit the recycled slot
+  EXPECT_FALSE(s.pending(old_id));
+  EXPECT_TRUE(s.pending(new_id));
+  ASSERT_EQ(s.size(), 1u);
+  s.pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, StaleIdAfterCancelCannotCancelRecycledSlot) {
+  Scheduler s;
+  const EventId old_id = s.schedule(Time::seconds(1.0), [] {});
+  s.cancel(old_id);
+  bool ran = false;
+  const EventId new_id = s.schedule(Time::seconds(2.0), [&] { ran = true; });
+  EXPECT_NE(old_id.value(), 0u);
+  s.cancel(old_id);  // second cancel through a recycled slot
+  EXPECT_TRUE(s.pending(new_id));
+  ASSERT_EQ(s.size(), 1u);
+  s.pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, GenerationsSurviveManyRecycles) {
+  Scheduler s;
+  // Cycle one slot a thousand times; each retired id must stay dead.
+  std::vector<EventId> dead;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = s.schedule(Time::nanos(i), [] {});
+    for (const EventId old_id : dead) EXPECT_FALSE(s.pending(old_id));
+    EXPECT_TRUE(s.pending(id));
+    (void)s.pop();
+    dead.push_back(id);
+    if (dead.size() > 8) dead.erase(dead.begin());  // keep the loop O(n)
+  }
+}
+
+TEST(Scheduler, CancelDestroysCallableEagerly) {
+  // O(1) cancel must release the capture immediately, not at pop time:
+  // a cancelled retransmit timer should drop its packet reference now.
+  Scheduler s;
+  auto token = std::make_shared<int>(42);
+  const EventId id = s.schedule(Time::seconds(1.0), [token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  s.cancel(id);
+  EXPECT_EQ(token.use_count(), 1);
+  s.clear();
 }
 
 // Property: random inserts with random cancellations still pop sorted.
