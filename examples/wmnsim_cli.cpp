@@ -18,6 +18,10 @@
 //   --seconds T        traffic time                 (default 30)
 //   --seed X           master seed                  (default 1)
 //   --rts B            RTS threshold bytes          (default off)
+//   --churn R          router crashes per minute (seeded Poisson churn
+//                      across the traffic window, ~10 s mean downtime)
+//   --outage NODE T0 T1  crash NODE from T0 to T1 seconds (repeatable)
+//   --repair           enable local repair + blacklist + precursor RERR
 //   --timeseries FILE  write 1 Hz network time series CSV
 //   --flows-csv FILE   write per-flow results CSV
 #include <cstring>
@@ -84,6 +88,19 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(next(1));
     } else if (a == "--rts") {
       cfg.mac.rts_threshold_bytes = static_cast<std::uint32_t>(next(256));
+    } else if (a == "--churn") {
+      cfg.fault.churn.rate_per_s = next(2) / 60.0;
+      cfg.fault.churn.mean_downtime = sim::Time::seconds(10.0);
+    } else if (a == "--outage") {
+      fault::NodeOutage o;
+      o.node = static_cast<std::uint32_t>(next(0));
+      o.down_at = sim::Time::seconds(next(0));
+      o.up_at = sim::Time::seconds(next(0));
+      cfg.fault.outages.push_back(o);
+    } else if (a == "--repair") {
+      cfg.options.aodv.local_repair = true;
+      cfg.options.aodv.rrep_blacklist = true;
+      cfg.options.aodv.rerr_to_precursors = true;
     } else if (a == "--timeseries" && i + 1 < argc) {
       timeseries_path = argv[++i];
     } else if (a == "--flows-csv" && i + 1 < argc) {
@@ -95,6 +112,13 @@ int main(int argc, char** argv) {
       std::cerr << "unknown flag '" << a << "' (see --help)\n";
       return 1;
     }
+  }
+
+  // The churn window spans the traffic; it depends on --seconds, so
+  // resolve it after all flags are parsed.
+  if (cfg.fault.churn.rate_per_s > 0.0) {
+    cfg.fault.churn.start = cfg.warmup;
+    cfg.fault.churn.stop = cfg.warmup + cfg.traffic_time;
   }
 
   exp::Scenario scenario(cfg);
@@ -130,6 +154,21 @@ int main(int argc, char** argv) {
   t.add_row({"fairness (Jain, active)", stats::Table::num(m.forwarding_jain, 3)});
   t.add_row({"energy (J)", stats::Table::num(m.total_energy_j, 0)});
   t.add_row({"energy (mJ/kbit)", stats::Table::num(m.energy_mj_per_kbit, 1)});
+  if (m.fault_enabled) {
+    t.add_row({"crashes / rejoins", std::to_string(m.fault_crashes) + " / " +
+                                        std::to_string(m.fault_rejoins)});
+    t.add_row({"node downtime (s)", stats::Table::num(m.fault_downtime_s, 1)});
+    t.add_row({"PDR during outage", stats::Table::num(m.pdr_during_outage, 3)});
+    t.add_row({"PDR outside outage",
+               stats::Table::num(m.pdr_outside_outage, 3)});
+    t.add_row({"local repairs (ok)",
+               std::to_string(m.local_repairs_attempted) + " (" +
+                   std::to_string(m.local_repairs_succeeded) + ")"});
+    t.add_row({"route recoveries", std::to_string(m.route_recoveries)});
+    t.add_row({"mean recovery (ms)",
+               stats::Table::num(m.route_recovery_mean_ms, 1)});
+    t.add_row({"flows stranded", std::to_string(m.flows_stranded)});
+  }
   t.add_row({"sim events", stats::Table::num(m.sim_event_count, 0)});
   t.add_row({"wall seconds", stats::Table::num(m.wall_seconds, 2)});
   t.print(std::cout);

@@ -61,6 +61,25 @@ struct RunMetrics {
   // 1 + total forwards / total deliveries.
   double avg_path_hops = 0.0;
 
+  // --- resilience (populated when the scenario ran a FaultPlan) --------
+  bool fault_enabled = false;
+  std::uint64_t fault_crashes = 0;
+  std::uint64_t fault_rejoins = 0;
+  std::uint64_t fault_blackouts = 0;
+  double fault_downtime_s = 0.0;     // summed realized node downtime
+  std::uint64_t sent_during_outage = 0;
+  std::uint64_t delivered_during_outage = 0;
+  double pdr_during_outage = 0.0;    // over packets sent inside windows
+  double pdr_outside_outage = 0.0;
+  std::uint64_t local_repairs_attempted = 0;
+  std::uint64_t local_repairs_succeeded = 0;
+  std::uint64_t route_recoveries = 0;
+  double route_recovery_mean_ms = 0.0;  // break -> reinstalled route
+  std::uint64_t route_recoveries_abandoned = 0;
+  // Flows that offered traffic but died for good: nothing ever arrived,
+  // or deliveries stopped well before the traffic window closed.
+  std::uint64_t flows_stranded = 0;
+
   // --- bookkeeping -----------------------------------------------------
   std::uint64_t seed = 0;
   double sim_event_count = 0.0;
@@ -108,6 +127,26 @@ struct RunMetrics {
   fp.mix(m.avg_path_hops);
   fp.mix(static_cast<std::uint64_t>(m.per_node_forwarded.size()));
   for (const double f : m.per_node_forwarded) fp.mix(f);
+  // Resilience metrics join the digest only for fault-enabled runs:
+  // with an empty FaultPlan the digest must stay bit-identical to what
+  // the seed produced before the fault layer existed.
+  if (m.fault_enabled) {
+    fp.mix(std::uint64_t{1});
+    fp.mix(m.fault_crashes);
+    fp.mix(m.fault_rejoins);
+    fp.mix(m.fault_blackouts);
+    fp.mix(m.fault_downtime_s);
+    fp.mix(m.sent_during_outage);
+    fp.mix(m.delivered_during_outage);
+    fp.mix(m.pdr_during_outage);
+    fp.mix(m.pdr_outside_outage);
+    fp.mix(m.local_repairs_attempted);
+    fp.mix(m.local_repairs_succeeded);
+    fp.mix(m.route_recoveries);
+    fp.mix(m.route_recovery_mean_ms);
+    fp.mix(m.route_recoveries_abandoned);
+    fp.mix(m.flows_stranded);
+  }
   return fp.digest();
 }
 

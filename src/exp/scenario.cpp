@@ -28,6 +28,19 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
   channel_ = std::make_unique<phy::WirelessChannel>(sim_, std::move(prop));
   build_nodes();
   build_traffic();
+
+  if (!cfg_.fault.empty()) {
+    std::vector<fault::NodeHooks> hooks;
+    hooks.reserve(nodes_.size());
+    for (NodeStack& n : nodes_) {
+      hooks.push_back({n.phy.get(), n.mac.get(), n.agent.get()});
+    }
+    injector_ = std::make_unique<fault::Injector>(sim_, cfg_.fault,
+                                                  std::move(hooks));
+    channel_->set_fault_overlay(injector_.get());
+    registry_.set_outage_query(
+        [this](sim::Time t) { return injector_->in_fault_window(t); });
+  }
 }
 
 Scenario::~Scenario() = default;
@@ -247,6 +260,54 @@ RunMetrics Scenario::metrics() const {
   m.forwarding_active_nodes = active.size();
   m.forwarding_jain = stats::jain_index(active);
   m.forwarding_peak_to_mean = stats::peak_to_mean(active);
+
+  if (injector_) {
+    m.fault_enabled = true;
+    const auto& fc = injector_->counters();
+    m.fault_crashes = fc.crashes;
+    m.fault_rejoins = fc.rejoins;
+    m.fault_blackouts = fc.blackouts;
+    m.fault_downtime_s = injector_->total_node_downtime(sim_.now()).to_seconds();
+
+    m.sent_during_outage = registry_.sent_during_outage();
+    m.delivered_during_outage = registry_.delivered_during_outage();
+    if (m.sent_during_outage > 0) {
+      m.pdr_during_outage = static_cast<double>(m.delivered_during_outage) /
+                            static_cast<double>(m.sent_during_outage);
+    }
+    const std::uint64_t sent_out = m.data_sent - m.sent_during_outage;
+    if (sent_out > 0) {
+      m.pdr_outside_outage =
+          static_cast<double>(m.data_delivered - m.delivered_during_outage) /
+          static_cast<double>(sent_out);
+    }
+
+    std::uint64_t recovery_ns = 0;
+    for (const NodeStack& n : nodes_) {
+      const auto& rc = n.agent->counters();
+      m.local_repairs_attempted += rc.local_repair_attempted;
+      m.local_repairs_succeeded += rc.local_repair_succeeded;
+      m.route_recoveries += rc.route_recoveries;
+      recovery_ns += rc.route_recovery_ns_total;
+      m.route_recoveries_abandoned += rc.route_recovery_abandoned;
+    }
+    if (m.route_recoveries > 0) {
+      m.route_recovery_mean_ms = static_cast<double>(recovery_ns) /
+                                 static_cast<double>(m.route_recoveries) / 1e6;
+    }
+
+    // Stranded: the flow offered traffic but nothing ever arrived, or
+    // deliveries dried up well before the senders stopped.
+    const sim::Time traffic_end = cfg_.warmup + cfg_.traffic_time;
+    const sim::Time slack =
+        std::min(cfg_.traffic_time.scaled(0.25), sim::Time::seconds(10.0));
+    for (const auto& f : registry_.snapshot()) {
+      if (f.sent == 0) continue;
+      if (!f.any_delivered || f.last_delivery < traffic_end - slack) {
+        ++m.flows_stranded;
+      }
+    }
+  }
   return m;
 }
 

@@ -12,6 +12,7 @@
 
 #include "core/protocols.hpp"
 #include "exp/metrics.hpp"
+#include "fault/injector.hpp"
 #include "mobility/mobility_model.hpp"
 #include "phy/channel.hpp"
 #include "traffic/cbr_source.hpp"
@@ -58,6 +59,10 @@ struct ScenarioConfig {
   mac::MacConfig mac;
   double shadowing_sigma_db = 0.0;
 
+  // Deterministic fault schedule; empty (the default) means the fault
+  // layer is never constructed — zero cost, zero RNG draws.
+  fault::FaultPlan fault;
+
   sim::Time warmup = sim::Time::seconds(5.0);    // hellos settle
   sim::Time traffic_time = sim::Time::seconds(60.0);
   sim::Time drain = sim::Time::seconds(2.0);     // in-flight packets land
@@ -94,6 +99,10 @@ class Scenario {
   }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] phy::WirelessChannel& channel() { return *channel_; }
+  // Null when the config's FaultPlan is empty.
+  [[nodiscard]] const fault::Injector* injector() const {
+    return injector_.get();
+  }
   // Factory for injecting extra (unmeasured) traffic into the mesh.
   [[nodiscard]] net::PacketFactory& packet_factory() { return factory_; }
 
@@ -114,6 +123,7 @@ class Scenario {
   net::PacketFactory factory_;
   std::unique_ptr<phy::WirelessChannel> channel_;
   std::vector<NodeStack> nodes_;
+  std::unique_ptr<fault::Injector> injector_;
   traffic::FlowRegistry registry_;
   std::vector<traffic::NodePair> flow_pairs_;
   std::vector<std::uint32_t> gateways_;

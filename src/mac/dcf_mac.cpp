@@ -26,7 +26,42 @@ DcfMac::DcfMac(sim::Simulator& simulator, const MacConfig& cfg, net::Address sel
   phy_.set_listener(this);
 }
 
+void DcfMac::power_down() {
+  if (down_) return;
+  down_ = true;
+  sim_.cancel(difs_timer_);
+  sim_.cancel(backoff_timer_);
+  sim_.cancel(ack_timer_);
+  sim_.cancel(ack_tx_timer_);
+  sim_.cancel(cts_tx_timer_);
+  sim_.cancel(cts_timer_);
+  sim_.cancel(data_after_cts_timer_);
+  sim_.cancel(nav_timer_);
+  counters_.down_drops += queue_.size() + (current_ ? 1u : 0u);
+  queue_.clear();
+  current_.reset();
+  state_ = TxState::kIdle;
+  ack_in_flight_ = false;
+  cts_in_flight_ = false;
+  sending_rts_ = false;
+  nav_until_ = sim::Time{};
+  backoff_slots_ = 0;
+  cw_ = cfg_.cw_min;
+}
+
+void DcfMac::power_up() {
+  if (!down_) return;
+  down_ = false;
+  // Cold restart: a rebooted station has no memory of peer sequence
+  // numbers, so duplicate detection starts from scratch.
+  last_rx_seq_.clear();
+}
+
 bool DcfMac::enqueue(net::Packet packet, net::Address dst) {
+  if (down_) {
+    ++counters_.down_drops;
+    return false;
+  }
   if (queue_.size() >= cfg_.queue_capacity) {
     ++counters_.queue_drops;
     return false;
@@ -80,6 +115,7 @@ void DcfMac::backoff_expired() {
 }
 
 void DcfMac::on_cca_change(bool busy) {
+  if (down_) return;
   if (busy) {
     if (sim_.pending(difs_timer_)) sim_.cancel(difs_timer_);
     pause_backoff();
@@ -166,6 +202,8 @@ void DcfMac::send_data_frame() {
 }
 
 void DcfMac::on_tx_end() {
+  // A frame that was on the air when we crashed finishes into a dead MAC.
+  if (down_) return;
   if (ack_in_flight_ || cts_in_flight_) {
     ack_in_flight_ = false;
     cts_in_flight_ = false;
@@ -260,6 +298,7 @@ void DcfMac::on_rx_start() {
 }
 
 void DcfMac::on_rx_end(std::optional<net::Packet> packet, double) {
+  if (down_) return;
   if (!packet) return;  // clobbered frame: energy only
 
   if (packet->top_is<RtsHeader>()) {

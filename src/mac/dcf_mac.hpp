@@ -76,6 +76,19 @@ class DcfMac final : public phy::PhyListener {
 
   [[nodiscard]] net::Address address() const { return self_; }
 
+  // --- fault-injection API ---------------------------------------------
+  // Crash/recover this station (fault::Injector). power_down() cancels
+  // every MAC timer, discards the interface queue and the in-service
+  // frame *without* invoking the tx-failed callback (a crashed router
+  // must not trigger its own link-break handling), and gates enqueue()
+  // and all PhyListener callbacks. power_up() is a cold restart: CW and
+  // duplicate-detection state come back as on construction. Call order
+  // for a crash is mac.power_down() then phy.set_up(false); for a
+  // rejoin phy.set_up(true) then mac.power_up().
+  void power_down();
+  void power_up();
+  [[nodiscard]] bool is_down() const { return down_; }
+
   // --- cross-layer instruments ----------------------------------------
   [[nodiscard]] double queue_ratio() const {
     // The in-service frame counts as backlog, so a full queue plus a
@@ -103,6 +116,7 @@ class DcfMac final : public phy::PhyListener {
     std::uint64_t rx_delivered = 0;     // handed to the upper layer
     std::uint64_t rx_duplicates = 0;    // MAC-level retransmission dups
     std::uint64_t rx_overheard = 0;     // frames for someone else
+    std::uint64_t down_drops = 0;       // frames discarded by power_down
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -193,6 +207,9 @@ class DcfMac final : public phy::PhyListener {
   std::uint16_t next_seq_ = 0;
   // MAC-level duplicate detection: last seq seen per source.
   std::unordered_map<net::Address, std::uint16_t> last_rx_seq_;
+
+  // Fault-injection power state.
+  bool down_ = false;
 
   Counters counters_;
 };

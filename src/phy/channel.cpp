@@ -48,6 +48,11 @@ void WirelessChannel::deliver(std::uint32_t slot) {
   d.next_free = free_head_;
   free_head_ = slot;
   --in_flight_;
+  // The receiver may have crashed during the propagation delay.
+  if (fault_ != nullptr && !fault_->node_up(rx->node_id())) {
+    ++counters_.copies_dropped_fault;
+    return;
+  }
   rx->begin_arrival(std::move(packet), p_dbm, duration);
 }
 
@@ -56,12 +61,22 @@ void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
   ++counters_.transmissions;
   const sim::Time now = sim_.now();
   const mobility::Vec2 tx_pos = src.position(now);
+  // A crashed radio never reaches transmit() (WifiPhy::send checks up_),
+  // but the belt is cheap and keeps the invariant local.
+  if (fault_ != nullptr && !fault_->node_up(src.node_id())) return;
 
   for (WifiPhy* rx : radios_) {
     if (rx == &src) continue;
     const mobility::Vec2 rx_pos = rx->position(now);
-    const double p_dbm = propagation_->rx_power_dbm(
+    double p_dbm = propagation_->rx_power_dbm(
         src.config().tx_power_dbm, tx_pos, rx_pos, src.node_id(), rx->node_id());
+    if (fault_ != nullptr) {
+      if (!fault_->node_up(rx->node_id())) {
+        ++counters_.copies_dropped_fault;
+        continue;
+      }
+      p_dbm -= fault_->link_loss_db(src.node_id(), rx->node_id(), now);
+    }
     if (p_dbm < rx->config().detection_floor_dbm) {
       ++counters_.copies_dropped_floor;
       continue;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "phy/fault_overlay.hpp"
 #include "phy/propagation.hpp"
 #include "phy/wifi_phy.hpp"
 #include "sim/simulator.hpp"
@@ -47,10 +48,15 @@ class WirelessChannel {
   // scenario builders to check topology connectivity before a run.
   [[nodiscard]] double link_rx_power_dbm(const WifiPhy& tx, const WifiPhy& rx) const;
 
+  // Install (or clear, with nullptr) the fault overlay. Non-owning; the
+  // overlay must outlive its installation. See phy/fault_overlay.hpp.
+  void set_fault_overlay(const FaultOverlay* overlay) { fault_ = overlay; }
+
   struct Counters {
     std::uint64_t transmissions = 0;
     std::uint64_t copies_delivered = 0;  // arrivals above detection floor
     std::uint64_t copies_dropped_floor = 0;
+    std::uint64_t copies_dropped_fault = 0;  // receiver crashed mid-window
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -72,6 +78,7 @@ class WirelessChannel {
 
   sim::Simulator& sim_;
   std::unique_ptr<PropagationModel> propagation_;
+  const FaultOverlay* fault_ = nullptr;
   std::vector<WifiPhy*> radios_;
   std::vector<PendingDelivery> pending_;
   std::uint32_t free_head_ = kNilSlot;

@@ -20,8 +20,28 @@ sim::Time WifiPhy::tx_duration(std::uint32_t bytes) const {
 }
 
 bool WifiPhy::cca_busy() const {
+  if (!up_) return false;  // a dead radio senses nothing
   if (state_ != State::kIdle) return true;
   return interference_mw(~0ULL) >= dbm_to_mw(cfg_.cca_threshold_dbm);
+}
+
+void WifiPhy::set_up(bool up) {
+  if (up == up_) return;
+  if (!up) {
+    // Drop a reception lock without notifying the listener — the MAC is
+    // powered down before the radio and must see no further callbacks.
+    if (locked_) {
+      locked_ = false;
+      counters_.rx_airtime += sim_.now() - locked_since_;
+      if (state_ == State::kRx) state_ = State::kIdle;
+    }
+    up_ = false;
+    down_since_ = sim_.now();
+  } else {
+    up_ = true;
+    down_time_ += sim_.now() - down_since_;
+  }
+  refresh_cca();
 }
 
 void WifiPhy::refresh_cca() {
@@ -45,6 +65,7 @@ double WifiPhy::interference_mw(std::uint64_t except_key) const {
 }
 
 void WifiPhy::send(net::Packet packet) {
+  WMN_CHECK(up_, "send() on a powered-down radio");
   WMN_CHECK(state_ == State::kIdle, "send() requires an idle radio");
   WMN_CHECK_NOTNULL(channel_, "radio not attached to a channel");
   state_ = State::kTx;
@@ -67,6 +88,12 @@ void WifiPhy::finish_tx() {
 
 void WifiPhy::begin_arrival(net::Packet packet, double rx_power_dbm,
                             sim::Time duration) {
+  if (!up_) {
+    // Crashed mid-window: energy that was already in flight when the
+    // channel-side fault check ran lands here and evaporates.
+    ++counters_.rx_dropped_down;
+    return;
+  }
   const double power_mw = dbm_to_mw(rx_power_dbm);
   const std::uint64_t key = ++next_arrival_key_;
   arrivals_.push_back(Arrival{key, std::move(packet), power_mw, sim_.now() + duration});

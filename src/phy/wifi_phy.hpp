@@ -93,6 +93,16 @@ class WifiPhy {
 
   [[nodiscard]] State state() const { return state_; }
 
+  // --- fault-injection API ---------------------------------------------
+  // Power the radio down/up (fault::Injector). A down radio drops every
+  // arrival, reports CCA idle, and must not be asked to send(). Going
+  // down releases a reception lock silently (no on_rx_end); an in-flight
+  // own transmission still runs to its scheduled end — the MAC is
+  // powered down first and ignores the on_tx_end. Down time draws no
+  // energy. No-op when already in the requested state.
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
   // --- channel-facing API ----------------------------------------------
   // An energy arrival begins at this radio (called by the channel after
   // propagation delay). `rx_power_dbm` is already path-loss adjusted.
@@ -120,6 +130,7 @@ class WifiPhy {
     std::uint64_t rx_failed_sinr = 0;   // locked but clobbered
     std::uint64_t rx_missed_busy = 0;   // arrival while TX/RX-locked
     std::uint64_t rx_below_sensitivity = 0;
+    std::uint64_t rx_dropped_down = 0;  // arrival while powered down
     sim::Time tx_airtime{};
     sim::Time rx_airtime{};             // time spent RX-locked
     sim::Time busy_time{};              // cumulative CCA-busy time
@@ -128,13 +139,16 @@ class WifiPhy {
 
   // Energy consumed since t=0 under the configured power draws:
   // TX at power_tx_w, RX-locked at power_rx_w, everything else
-  // (listening, idle, carrier-sensing) at power_idle_w.
+  // (listening, idle, carrier-sensing) at power_idle_w. Powered-down
+  // intervals draw nothing.
   [[nodiscard]] double energy_joules() const {
     const double total_s = sim_.now().to_seconds();
     const double tx_s = counters_.tx_airtime.to_seconds();
     double rx_s = counters_.rx_airtime.to_seconds();
     if (locked_) rx_s += (sim_.now() - locked_since_).to_seconds();
-    const double idle_s = total_s - tx_s - rx_s;
+    double down_s = down_time_.to_seconds();
+    if (!up_) down_s += (sim_.now() - down_since_).to_seconds();
+    const double idle_s = total_s - tx_s - rx_s - down_s;
     return cfg_.power_tx_w * tx_s + cfg_.power_rx_w * rx_s +
            cfg_.power_idle_w * (idle_s > 0.0 ? idle_s : 0.0);
   }
@@ -173,6 +187,12 @@ class WifiPhy {
 
   bool last_cca_busy_ = false;
   sim::Time busy_since_{};
+
+  // Fault-injection power state.
+  bool up_ = true;
+  sim::Time down_since_{};
+  sim::Time down_time_{};  // closed down intervals only
+
   Counters counters_;
 };
 

@@ -54,14 +54,47 @@ AodvAgent::AodvAgent(sim::Simulator& simulator, const AodvConfig& cfg,
                     [this] { housekeeping(); });
 }
 
-AodvAgent::~AodvAgent() {
+AodvAgent::~AodvAgent() { cancel_all_timers(); }
+
+void AodvAgent::cancel_all_timers() {
   sim_.cancel(hello_timer_);
   sim_.cancel(housekeeping_timer_);
   for (auto& [key, rec] : rreq_cache_) {
     sim_.cancel(rec.assess_timer);
     sim_.cancel(rec.reply_timer);
+    sim_.cancel(rec.forward_timer);
   }
   for (auto& [dest, d] : discoveries_) sim_.cancel(d.timer);
+}
+
+void AodvAgent::pause() {
+  if (paused_) return;
+  paused_ = true;
+  cancel_all_timers();
+  for (const auto& [dest, q] : buffers_) {
+    counters_.data_dropped_buffer += q.size();
+  }
+  buffers_.clear();
+  rreq_cache_.clear();
+  discoveries_.clear();
+  routes_.clear();
+  neighbors_.pause();
+  blacklist_.clear();
+  broken_at_.clear();
+}
+
+void AodvAgent::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  neighbors_.resume();
+  // Rejoin with fresh, desynchronized periodic timers. These draws only
+  // happen when a fault plan actually crashes the node, so fault-free
+  // runs consume the agent stream exactly as before.
+  hello_timer_ = sim_.schedule(
+      cfg_.hello_interval.scaled(rng_.uniform01()), [this] { send_hello(); });
+  housekeeping_timer_ =
+      sim_.schedule(cfg_.housekeeping_interval.scaled(rng_.uniform01()),
+                    [this] { housekeeping(); });
 }
 
 double AodvAgent::neighbourhood_load() const {
@@ -84,6 +117,12 @@ void AodvAgent::send(net::Packet packet, net::Address dest) {
   WMN_CHECK_EQ(packet.header_count(), std::size_t{0},
                "application packet entered the agent with headers attached");
   ++counters_.data_originated;
+  if (paused_) {
+    // The application keeps offering traffic while we are crashed; it
+    // evaporates here (and counts against PDR, as it should).
+    ++counters_.data_dropped_node_down;
+    return;
+  }
   if (dest == self_) {
     ++counters_.data_delivered;
     if (deliver_cb_) deliver_cb_(std::move(packet), self_);
@@ -104,7 +143,7 @@ void AodvAgent::send(net::Packet packet, net::Address dest) {
     buf.pop_front();
     ++counters_.data_dropped_buffer;
   }
-  buf.push_back(BufferedPacket{std::move(packet), now()});
+  buf.push_back(BufferedPacket{std::move(packet), now(), std::nullopt});
   if (!discoveries_.contains(dest)) start_discovery(dest);
 }
 
@@ -119,7 +158,20 @@ void AodvAgent::flush_buffer(net::Address dest) {
       ++counters_.data_dropped_no_route;
       continue;
     }
-    bp.packet.push(DataHeader{self_, dest, cfg_.data_ttl});
+    if (bp.transit_hdr.has_value()) {
+      // Transit packet parked during local repair: resume forwarding
+      // under its original origin and remaining TTL.
+      if (bp.transit_hdr->ttl <= 1) {
+        ++counters_.data_dropped_ttl;
+        continue;
+      }
+      DataHeader fwd = *bp.transit_hdr;
+      --fwd.ttl;
+      bp.packet.push(fwd);
+      ++counters_.data_forwarded;
+    } else {
+      bp.packet.push(DataHeader{self_, dest, cfg_.data_ttl});
+    }
     mac_.enqueue(std::move(bp.packet), r->next_hop);
   }
 }
@@ -159,8 +211,19 @@ std::optional<std::uint8_t> AodvAgent::ttl_for_attempt(
 }
 
 void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
-  const auto ttl = ttl_for_attempt(attempt);
-  WMN_CHECK(ttl.has_value(), "RREQ attempt past the retry schedule");
+  auto it = discoveries_.find(dest);
+  WMN_CHECK(it != discoveries_.end(), "RREQ sent without an open discovery");
+  const bool repair = it->second.repair;
+  std::uint8_t ttl_value;
+  if (repair) {
+    // Local repair is one hop-bounded attempt; no retry schedule.
+    WMN_CHECK_EQ(attempt, 0u, "local repair retried its RREQ");
+    ttl_value = it->second.repair_ttl;
+  } else {
+    const auto ttl = ttl_for_attempt(attempt);
+    WMN_CHECK(ttl.has_value(), "RREQ attempt past the retry schedule");
+    ttl_value = *ttl;
+  }
   ++counters_.rreq_originated;
   ++seqno_;
   ++rreq_id_;
@@ -171,7 +234,7 @@ void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
   hdr.origin_seqno = seqno_;
   hdr.dest = dest;
   hdr.hop_count = 0;
-  hdr.ttl = *ttl;
+  hdr.ttl = ttl_value;
   if (RouteEntry* e = routes_.find(dest); e != nullptr && e->valid_seqno) {
     hdr.dest_seqno = e->dest_seqno;
     hdr.unknown_dest_seqno = false;
@@ -186,17 +249,19 @@ void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
   pkt.push(hdr);
   mac_.enqueue(std::move(pkt), net::Address::broadcast());
 
-  auto it = discoveries_.find(dest);
-  WMN_CHECK(it != discoveries_.end(), "RREQ sent without an open discovery");
   it->second.attempts = attempt + 1;
   // RREP wait scales with the ring radius (ring traversal time) and
   // doubles per network-wide retry, randomized by up to +50%: two
   // nodes whose first RREQs collided must not re-collide on every
   // retry.
   sim::Time wait;
-  if (*ttl < cfg_.rreq_ttl) {
+  if (repair) {
+    const double frac = std::min(
+        1.0, static_cast<double>(ttl_value + 2) / static_cast<double>(cfg_.rreq_ttl));
+    wait = cfg_.net_traversal_time.scaled(frac);
+  } else if (ttl_value < cfg_.rreq_ttl) {
     wait = cfg_.net_traversal_time.scaled(
-        static_cast<double>(*ttl + 2) / static_cast<double>(cfg_.rreq_ttl));
+        static_cast<double>(ttl_value + 2) / static_cast<double>(cfg_.rreq_ttl));
   } else {
     const std::uint32_t full_attempt =
         attempt - (cfg_.expanding_ring
@@ -214,20 +279,33 @@ void AodvAgent::send_rreq(net::Address dest, std::uint32_t attempt) {
 void AodvAgent::on_discovery_timeout(net::Address dest) {
   auto it = discoveries_.find(dest);
   if (it == discoveries_.end()) return;
+  const bool repair = it->second.repair;
   if (routes_.lookup(dest, now()) != nullptr) {
     // Route appeared without us noticing a RREP (e.g. learned from a
     // passing RREQ); treat as success.
     ++counters_.discovery_succeeded;
+    if (repair) ++counters_.local_repair_succeeded;
     discoveries_.erase(it);
     flush_buffer(dest);
     return;
   }
-  if (ttl_for_attempt(it->second.attempts).has_value()) {
+  if (!repair && ttl_for_attempt(it->second.attempts).has_value()) {
     send_rreq(dest, it->second.attempts);
     return;
   }
   ++counters_.discovery_failed;
   discoveries_.erase(it);
+  if (repair) {
+    // The repair failed: deliver the RERR we withheld when the link
+    // broke, so upstream nodes stop sending through us.
+    std::uint32_t s = 0;
+    std::unordered_set<net::Address> prec;
+    if (RouteEntry* e = routes_.find(dest); e != nullptr) {
+      s = e->dest_seqno;
+      prec = e->precursors;
+    }
+    emit_rerr({dest}, {s}, prec);
+  }
   drop_buffer(dest, "discovery failed");
 }
 
@@ -237,6 +315,19 @@ void AodvAgent::handle_rreq(net::Packet packet, net::Address src) {
       cfg_.use_load_metric ? packet.pop<LoadTlv>().load : 0.0;
 
   if (hdr.origin == self_) return;  // echo of our own flood
+
+  if (cfg_.rrep_blacklist && !blacklist_.empty()) {
+    // Section 6.8: RREQs over a link we know to be unidirectional are
+    // ignored entirely — answering them would just fail again.
+    auto bl = blacklist_.find(src);
+    if (bl != blacklist_.end()) {
+      if (bl->second > now()) {
+        ++counters_.rreq_ignored_blacklist;
+        return;
+      }
+      blacklist_.erase(bl);
+    }
+  }
 
   neighbors_.refresh(src);
   upsert_neighbor_route(src);
@@ -316,12 +407,14 @@ void AodvAgent::handle_rreq(net::Packet packet, net::Address src) {
 
   const RebroadcastDecision dec = rebroadcast_->decide(ctx, rng_);
   switch (dec.action) {
-    case RebroadcastAction::kForward:
+    case RebroadcastAction::kForward: {
       rec.forward_decided = true;
-      rreq_cache_.emplace(key, std::move(rec));
-      sim_.schedule(dec.delay,
-                    [this, hdr, path_load] { forward_rreq(hdr, path_load); });
+      auto [pos, inserted] = rreq_cache_.emplace(key, std::move(rec));
+      WMN_CHECK(inserted, "RREQ record already cached on first copy");
+      pos->second.forward_timer = sim_.schedule(
+          dec.delay, [this, hdr, path_load] { forward_rreq(hdr, path_load); });
       break;
+    }
     case RebroadcastAction::kDrop:
       rec.forward_decided = true;
       ++counters_.rreq_suppressed;
@@ -453,8 +546,9 @@ void AodvAgent::handle_rrep(net::Packet packet, net::Address src) {
     auto it = discoveries_.find(hdr.dest);
     if (it != discoveries_.end()) {
       sim_.cancel(it->second.timer);
-      discoveries_.erase(it);
       ++counters_.discovery_succeeded;
+      if (it->second.repair) ++counters_.local_repair_succeeded;
+      discoveries_.erase(it);
     }
     flush_buffer(hdr.dest);
     return;
@@ -524,7 +618,24 @@ bool AodvAgent::update_route(net::Address dest, net::Address via,
   entry.expires = now() + lifetime;
   if (e != nullptr) entry.precursors = std::move(e->precursors);
   routes_.upsert(entry);
+  note_route_restored(dest);
   return true;
+}
+
+void AodvAgent::note_route_broken(net::Address dest) {
+  // First break wins: a route that breaks again mid-recovery is still
+  // one outage from the traffic's point of view.
+  broken_at_.try_emplace(dest, now());
+}
+
+void AodvAgent::note_route_restored(net::Address dest) {
+  if (broken_at_.empty()) return;  // common case: nothing broken
+  auto it = broken_at_.find(dest);
+  if (it == broken_at_.end()) return;
+  counters_.route_recovery_ns_total +=
+      static_cast<std::uint64_t>((now() - it->second).ns());
+  ++counters_.route_recoveries;
+  broken_at_.erase(it);
 }
 
 void AodvAgent::upsert_neighbor_route(net::Address neighbor) {
@@ -547,6 +658,7 @@ void AodvAgent::upsert_neighbor_route(net::Address neighbor) {
     entry.precursors = std::move(e->precursors);
   }
   routes_.upsert(entry);
+  note_route_restored(neighbor);
 }
 
 // --------------------------------------------------------------------------
@@ -577,11 +689,31 @@ void AodvAgent::handle_data(net::Packet packet, net::Address src) {
 
   const RouteEntry* r = routes_.lookup(hdr.dest, now());
   if (r == nullptr) {
+    if (auto d = discoveries_.find(hdr.dest);
+        d != discoveries_.end() && d->second.repair) {
+      // We are mid-local-repair for this destination (section 6.12):
+      // park the packet with the repair's adoptees instead of bouncing
+      // a RERR upstream for a break we expect to heal.
+      auto& buf = buffers_[hdr.dest];
+      if (buf.size() >= cfg_.buffer_capacity) {
+        buf.pop_front();
+        ++counters_.data_dropped_buffer;
+      }
+      buf.push_back(BufferedPacket{std::move(packet), now(), hdr});
+      return;
+    }
     ++counters_.data_dropped_no_route;
-    // Tell upstream nodes the route through us is dead.
+    // Tell upstream nodes the route through us is dead. The upstream
+    // sender is a precursor by construction — it just routed data
+    // through us — so it is always among the candidate recipients.
     std::uint32_t s = 0;
-    if (RouteEntry* e = routes_.find(hdr.dest); e != nullptr) s = e->dest_seqno;
-    send_rerr({hdr.dest}, {s});
+    std::unordered_set<net::Address> prec;
+    if (RouteEntry* e = routes_.find(hdr.dest); e != nullptr) {
+      s = e->dest_seqno;
+      prec = e->precursors;
+    }
+    prec.insert(src);
+    emit_rerr({hdr.dest}, {s}, prec);
     return;
   }
 
@@ -601,16 +733,59 @@ void AodvAgent::handle_data(net::Packet packet, net::Address src) {
 // --------------------------------------------------------------------------
 
 void AodvAgent::on_mac_tx_failed(net::Address next_hop, net::Packet packet) {
+  if (paused_) return;  // crashed between MAC failure and callback
   ++counters_.link_breaks;
-  handle_link_break(next_hop);
+
+  if (cfg_.rrep_blacklist && packet.top_is<RrepHeader>()) {
+    // A failed RREP unicast is the section 6.8 unidirectionality
+    // signal: the RREQ reached us over this link, our reply cannot get
+    // back. Ignore the neighbour's RREQs for blacklist_timeout.
+    WMN_CHECK(next_hop.is_valid() && !next_hop.is_broadcast(),
+              "RREP tx-failure against a non-unicast next hop");
+    blacklist_[next_hop] = now() + cfg_.blacklist_timeout;
+    ++counters_.blacklist_adds;
+  }
+
+  // Local-repair eligibility must be judged before invalidation wipes
+  // the broken route: transit data, destination close by, and no
+  // discovery for it already running.
+  net::Address repair_dest;  // default-invalid: no repair
+  std::uint8_t repair_hops = 0;
+  if (cfg_.local_repair && packet.top_is<DataHeader>()) {
+    const auto& hdr = packet.peek<DataHeader>();
+    if (hdr.origin != self_ && !discoveries_.contains(hdr.dest)) {
+      if (const RouteEntry* e = routes_.lookup(hdr.dest, now());
+          e != nullptr && e->next_hop == next_hop &&
+          e->hop_count <= cfg_.local_repair_max_dest_hops) {
+        repair_dest = hdr.dest;
+        repair_hops = e->hop_count;
+      }
+    }
+  }
+
+  handle_link_break(next_hop, repair_dest);
 
   // Salvage: packets we originated can re-enter the send path (which
-  // re-discovers); transit packets are lost here.
+  // re-discovers); transit packets are lost here — unless a local
+  // repair is adopting them.
   if (packet.top_is<DataHeader>()) {
     DataHeader hdr = packet.pop<DataHeader>();
+    const auto open = discoveries_.find(hdr.dest);
+    const bool repair_running =
+        open != discoveries_.end() && open->second.repair;
     if (hdr.origin == self_) {
       --counters_.data_originated;  // send() will count it again
       send(std::move(packet), hdr.dest);
+    } else if (repair_dest == hdr.dest || repair_running) {
+      // Either this failure triggers a repair, or one is already in
+      // flight for the destination: the repair adopts the packet.
+      auto& buf = buffers_[hdr.dest];
+      if (buf.size() >= cfg_.buffer_capacity) {
+        buf.pop_front();
+        ++counters_.data_dropped_buffer;
+      }
+      buf.push_back(BufferedPacket{std::move(packet), now(), hdr});
+      if (repair_dest == hdr.dest) start_local_repair(hdr.dest, repair_hops);
     } else {
       ++counters_.data_dropped_link_break;
     }
@@ -619,27 +794,78 @@ void AodvAgent::on_mac_tx_failed(net::Address next_hop, net::Packet packet) {
   }
 }
 
+void AodvAgent::start_local_repair(net::Address dest, std::uint8_t last_hops) {
+  WMN_CHECK(cfg_.local_repair, "local repair started while disabled");
+  WMN_CHECK(!discoveries_.contains(dest),
+            "local repair over an already-open discovery");
+  ++counters_.local_repair_attempted;
+  ++counters_.discovery_started;
+  Discovery d;
+  d.repair = true;
+  const std::uint32_t ttl =
+      static_cast<std::uint32_t>(last_hops) + cfg_.local_repair_ttl_slack;
+  d.repair_ttl = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(std::max<std::uint32_t>(ttl, 1), cfg_.rreq_ttl));
+  discoveries_[dest] = d;
+  send_rreq(dest, 0);
+}
+
 void AodvAgent::on_neighbor_lost(net::Address neighbor) {
+  // The neighbour is gone; it can no longer be a useful RERR recipient.
+  routes_.remove_precursor(neighbor);
   handle_link_break(neighbor);
 }
 
-void AodvAgent::handle_link_break(net::Address next_hop) {
-  std::vector<net::Address> affected = routes_.dests_via(next_hop, now());
-  if (routes_.lookup(next_hop, now()) != nullptr) affected.push_back(next_hop);
+void AodvAgent::handle_link_break(net::Address next_hop,
+                                  net::Address repair_dest) {
+  // dests_via covers the route to next_hop itself when it goes over
+  // the broken link; a route to next_hop through some *other* neighbour
+  // (e.g. installed by a local repair) is unaffected by this break.
+  const std::vector<net::Address> affected = routes_.dests_via(next_hop, now());
 
   std::vector<net::Address> dests;
   std::vector<std::uint32_t> seqnos;
+  std::unordered_set<net::Address> precursors;
   for (net::Address d : affected) {
     if (auto inv = routes_.invalidate(d, now()); inv.has_value()) {
+      note_route_broken(d);
+      if (d == repair_dest) continue;  // repaired locally, no RERR yet
       dests.push_back(d);
       seqnos.push_back(inv->dest_seqno);
+      precursors.insert(inv->precursors.begin(), inv->precursors.end());
     }
   }
-  if (!dests.empty()) send_rerr(dests, seqnos);
+  if (!dests.empty()) emit_rerr(dests, seqnos, precursors);
+}
+
+void AodvAgent::emit_rerr(const std::vector<net::Address>& dests,
+                          const std::vector<std::uint32_t>& seqnos,
+                          const std::unordered_set<net::Address>& precursors) {
+  if (!cfg_.rerr_to_precursors) {
+    send_rerr(dests, seqnos, net::Address::broadcast());
+    return;
+  }
+  // Section 6.11 delivery discipline: nobody routes through us ->
+  // nothing to say; exactly one live precursor -> unicast (gets MAC
+  // ACK/retries); otherwise broadcast.
+  net::Address sole;
+  std::size_t live = 0;
+  for (net::Address p : precursors) {
+    if (!neighbors_.contains(p)) continue;
+    ++live;
+    sole = p;
+    if (live > 1) break;
+  }
+  if (live == 0) {
+    ++counters_.rerr_suppressed_no_precursor;
+    return;
+  }
+  send_rerr(dests, seqnos, live == 1 ? sole : net::Address::broadcast());
 }
 
 void AodvAgent::send_rerr(const std::vector<net::Address>& dests,
-                          const std::vector<std::uint32_t>& seqnos) {
+                          const std::vector<std::uint32_t>& seqnos,
+                          net::Address target) {
   WMN_CHECK_EQ(dests.size(), seqnos.size(),
                "RERR destination and seqno lists must pair up");
   std::size_t i = 0;
@@ -655,7 +881,7 @@ void AodvAgent::send_rerr(const std::vector<net::Address>& dests,
     ++counters_.rerr_sent;
     net::Packet pkt = factory_.make(0, now());
     pkt.push(hdr);
-    mac_.enqueue(std::move(pkt), net::Address::broadcast());
+    mac_.enqueue(std::move(pkt), target);
   }
 }
 
@@ -666,6 +892,7 @@ void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
 
   std::vector<net::Address> propagate;
   std::vector<std::uint32_t> seqnos;
+  std::unordered_set<net::Address> precursors;
   for (std::uint8_t i = 0; i < hdr.count; ++i) {
     const net::Address d = hdr.unreachable[i];
     RouteEntry* e = routes_.find(d);
@@ -674,6 +901,7 @@ void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
     }
     auto inv = routes_.invalidate(d, now());
     if (!inv.has_value()) continue;
+    note_route_broken(d);
     // Adopt the (possibly circularly newer) unreachable seqno.
     if (RouteEntry* dead = routes_.find(d);
         dead != nullptr && seqno_newer(hdr.seqno[i], dead->dest_seqno)) {
@@ -682,8 +910,9 @@ void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
     }
     propagate.push_back(d);
     seqnos.push_back(seqno_max(inv->dest_seqno, hdr.seqno[i]));
+    precursors.insert(inv->precursors.begin(), inv->precursors.end());
   }
-  if (!propagate.empty()) send_rerr(propagate, seqnos);
+  if (!propagate.empty()) emit_rerr(propagate, seqnos, precursors);
 }
 
 // --------------------------------------------------------------------------
@@ -723,10 +952,27 @@ void AodvAgent::housekeeping() {
   // Expired RREQ records.
   for (auto it = rreq_cache_.begin(); it != rreq_cache_.end();) {
     const RreqRecord& rec = it->second;
-    const bool timers_live =
-        sim_.pending(rec.assess_timer) || sim_.pending(rec.reply_timer);
+    const bool timers_live = sim_.pending(rec.assess_timer) ||
+                             sim_.pending(rec.reply_timer) ||
+                             sim_.pending(rec.forward_timer);
     if (!timers_live && rec.first_seen + cfg_.rreq_cache_timeout <= now()) {
       it = rreq_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Expired blacklist entries.
+  for (auto it = blacklist_.begin(); it != blacklist_.end();) {
+    it = it->second <= now() ? blacklist_.erase(it) : std::next(it);
+  }
+
+  // Breaks whose route never came back: stop waiting after the same
+  // horizon that reclaims dead route entries.
+  for (auto it = broken_at_.begin(); it != broken_at_.end();) {
+    if (it->second + cfg_.dead_route_retention <= now()) {
+      ++counters_.route_recovery_abandoned;
+      it = broken_at_.erase(it);
     } else {
       ++it;
     }
@@ -751,6 +997,9 @@ void AodvAgent::housekeeping() {
 // --------------------------------------------------------------------------
 
 void AodvAgent::on_mac_receive(net::Packet packet, net::Address src) {
+  // Belt: the MAC is powered down with us, so nothing should arrive
+  // while crashed; drop it if it somehow does.
+  if (paused_) return;
   if (packet.top_is<RreqHeader>()) {
     handle_rreq(std::move(packet), src);
   } else if (packet.top_is<RrepHeader>()) {

@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "mac/dcf_mac.hpp"
 #include "net/address.hpp"
@@ -69,6 +70,28 @@ struct AodvConfig {
   bool use_load_metric = false;     // RREQs accumulate neighbourhood load
   bool hello_carries_load = false;  // HELLOs advertise node load
   double nbhd_self_weight = 0.5;    // own weight in neighbourhood load
+
+  // Graceful degradation (RFC 3561 optional machinery). All of it is
+  // OFF by default: the baseline protocols — and therefore the seed
+  // determinism fingerprints — run the stock engine.
+  //
+  // Local repair (section 6.12): an intermediate node whose next hop
+  // died may re-discover the destination itself instead of RERR-ing to
+  // the source, when the destination was close (few hops) — the repair
+  // RREQ's TTL is last-known hops + slack.
+  bool local_repair = false;
+  std::uint8_t local_repair_max_dest_hops = 3;
+  std::uint8_t local_repair_ttl_slack = 2;
+  // Unidirectional-neighbour blacklist (section 6.8): a failed RREP
+  // unicast means the reverse link the RREQ arrived over doesn't work
+  // in our direction; ignore that neighbour's RREQs for a while so the
+  // next discovery picks a bidirectional path.
+  bool rrep_blacklist = false;
+  sim::Time blacklist_timeout = sim::Time::seconds(3.0);
+  // RERR delivery (section 6.11): unicast to the single precursor when
+  // there is exactly one, suppress entirely when there are none —
+  // instead of always broadcasting.
+  bool rerr_to_precursors = false;
 };
 
 class AodvAgent {
@@ -91,6 +114,18 @@ class AodvAgent {
 
   // Application entry point: route (discovering if needed) and send.
   void send(net::Packet packet, net::Address dest);
+
+  // --- fault-injection API ---------------------------------------------
+  // Crash/recover this router (fault::Injector). pause() cancels every
+  // outstanding agent event (HELLO, housekeeping, RREQ-cache timers,
+  // discovery timeouts), drops buffered packets, and forgets all
+  // routing state — a crashed router keeps nothing. resume() is a cold
+  // restart: empty tables, fresh HELLO/housekeeping timers (jittered
+  // from the agent's own RNG stream; the stream is only consumed when
+  // faults actually fire, so fault-free runs stay bit-identical).
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
 
   [[nodiscard]] net::Address address() const { return self_; }
 
@@ -131,6 +166,17 @@ class AodvAgent {
     std::uint64_t data_dropped_link_break = 0;
     std::uint64_t data_dropped_buffer = 0;  // buffer overflow/timeout
     std::uint64_t link_breaks = 0;
+    // Resilience / graceful degradation.
+    std::uint64_t data_dropped_node_down = 0;  // offered while crashed
+    std::uint64_t local_repair_attempted = 0;
+    std::uint64_t local_repair_succeeded = 0;
+    std::uint64_t blacklist_adds = 0;
+    std::uint64_t rreq_ignored_blacklist = 0;
+    std::uint64_t rerr_suppressed_no_precursor = 0;
+    // Route-recovery latency: break-to-reinstall, per destination.
+    std::uint64_t route_recoveries = 0;
+    std::uint64_t route_recovery_ns_total = 0;
+    std::uint64_t route_recovery_abandoned = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -163,16 +209,28 @@ class AodvAgent {
     std::optional<RouteCandidate> best;
     net::Address best_prev_hop;  // where the best copy came from
     sim::EventId reply_timer{};
+    // Jittered rebroadcast of a kForward decision. Tracked so teardown
+    // and crash injection can cancel it — an untracked forward event
+    // would fire into a destroyed or paused agent.
+    sim::EventId forward_timer{};
   };
 
   struct Discovery {
     std::uint32_t attempts = 0;
     sim::EventId timer{};
+    // Local repair: a single attempt with a hop-bounded TTL, run by an
+    // intermediate node on behalf of the broken route.
+    bool repair = false;
+    std::uint8_t repair_ttl = 0;
   };
 
   struct BufferedPacket {
     net::Packet packet;
     sim::Time enqueued{};
+    // Present for transit packets parked during local repair: their
+    // original network header (origin, remaining TTL) must survive the
+    // repair rather than being re-stamped as our own traffic.
+    std::optional<DataHeader> transit_hdr;
   };
 
   // --- RX dispatch -----------------------------------------------------
@@ -210,13 +268,26 @@ class AodvAgent {
   // --- failures -----------------------------------------------------------
   void on_mac_tx_failed(net::Address next_hop, net::Packet packet);
   void on_neighbor_lost(net::Address neighbor);
-  void handle_link_break(net::Address next_hop);
+  // Invalidate routes via `next_hop` and report them. `repair_dest`
+  // (when valid) is excluded from the RERR: we are repairing it locally.
+  void handle_link_break(net::Address next_hop,
+                         net::Address repair_dest = net::Address{});
+  // Decide the RERR recipient (precursor unicast / broadcast /
+  // suppression, per cfg_.rerr_to_precursors) and send.
+  void emit_rerr(const std::vector<net::Address>& dests,
+                 const std::vector<std::uint32_t>& seqnos,
+                 const std::unordered_set<net::Address>& precursors);
   void send_rerr(const std::vector<net::Address>& dests,
-                 const std::vector<std::uint32_t>& seqnos);
+                 const std::vector<std::uint32_t>& seqnos, net::Address target);
+  void start_local_repair(net::Address dest, std::uint8_t last_hops);
+  // Recovery-latency bookkeeping around route invalidation/reinstall.
+  void note_route_broken(net::Address dest);
+  void note_route_restored(net::Address dest);
 
   // --- periodic -----------------------------------------------------------
   void send_hello();
   void housekeeping();
+  void cancel_all_timers();
 
   [[nodiscard]] sim::Time now() const { return sim_.now(); }
 
@@ -244,6 +315,14 @@ class AodvAgent {
 
   sim::EventId hello_timer_{};
   sim::EventId housekeeping_timer_{};
+
+  // Fault injection: true while crashed.
+  bool paused_ = false;
+  // Blacklisted RREQ sources (section 6.8) -> ignore-until time.
+  std::unordered_map<net::Address, sim::Time> blacklist_;
+  // Destinations whose route broke (link break / RERR) and has not been
+  // reinstalled yet -> break time. Feeds the recovery-latency metric.
+  std::unordered_map<net::Address, sim::Time> broken_at_;
 
   Counters counters_;
 };

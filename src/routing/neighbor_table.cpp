@@ -56,6 +56,16 @@ double NeighborTable::mean_neighbor_load() const {
   return sum / static_cast<double>(neighbors_.size());
 }
 
+void NeighborTable::pause() {
+  sim_.cancel(sweep_timer_);
+  neighbors_.clear();
+}
+
+void NeighborTable::resume() {
+  if (sim_.pending(sweep_timer_)) return;  // already running
+  sweep_timer_ = sim_.schedule(lifetime_ / 2, [this] { sweep(); });
+}
+
 void NeighborTable::sweep() {
   const sim::Time now = sim_.now();
   std::vector<net::Address> lost;

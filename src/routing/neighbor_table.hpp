@@ -59,6 +59,12 @@ class NeighborTable {
   // Called when a neighbour expires from the table.
   void set_loss_callback(LossCallback cb) { loss_cb_ = std::move(cb); }
 
+  // Fault injection: pause() cancels the sweep and forgets every
+  // neighbour (no loss callbacks — the owning agent is crashing, not
+  // detecting failures); resume() restarts the sweep on an empty table.
+  void pause();
+  void resume();
+
  private:
   void sweep();
 

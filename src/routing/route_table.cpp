@@ -71,6 +71,10 @@ void RouteTable::add_precursor(net::Address dest, net::Address precursor) {
   if (it != table_.end()) it->second.precursors.insert(precursor);
 }
 
+void RouteTable::remove_precursor(net::Address precursor) {
+  for (auto& [dest, e] : table_) e.precursors.erase(precursor);
+}
+
 void RouteTable::purge(sim::Time now, sim::Time dead_retention) {
   for (auto it = table_.begin(); it != table_.end();) {
     const RouteEntry& e = it->second;

@@ -57,11 +57,19 @@ class RouteTable {
 
   void add_precursor(net::Address dest, net::Address precursor);
 
+  // Remove `precursor` from every entry's precursor list — called when
+  // the neighbour expires from the NeighborTable, so later RERRs are
+  // not addressed to stations known to be gone.
+  void remove_precursor(net::Address precursor);
+
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 
   // Drop long-dead invalid entries (housekeeping; called by the agent's
   // periodic timer).
   void purge(sim::Time now, sim::Time dead_retention);
+
+  // Forget everything (node crash: a rebooted router has no table).
+  void clear() { table_.clear(); }
 
  private:
   std::unordered_map<net::Address, RouteEntry> table_;

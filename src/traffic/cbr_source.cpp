@@ -33,7 +33,7 @@ void CbrSource::emit() {
   if (sim_.now() >= cfg_.stop) return;
   net::Packet pkt = factory_.make(cfg_.packet_bytes, sim_.now());
   pkt.set_flow_info(net::Packet::FlowInfo{cfg_.flow_id, ++seq_, sim_.now(), true});
-  registry_.record_sent(cfg_.flow_id, cfg_.packet_bytes);
+  registry_.record_sent(cfg_.flow_id, cfg_.packet_bytes, sim_.now());
   agent_.send(std::move(pkt), cfg_.dest);
   timer_ = sim_.schedule(sim::Time::seconds(1.0 / cfg_.rate_pps),
                          [this] { emit(); });
@@ -82,7 +82,7 @@ void PoissonOnOffSource::emit() {
   }
   net::Packet pkt = factory_.make(cfg_.packet_bytes, sim_.now());
   pkt.set_flow_info(net::Packet::FlowInfo{cfg_.flow_id, ++seq_, sim_.now(), true});
-  registry_.record_sent(cfg_.flow_id, cfg_.packet_bytes);
+  registry_.record_sent(cfg_.flow_id, cfg_.packet_bytes, sim_.now());
   agent_.send(std::move(pkt), cfg_.dest);
   timer_ = sim_.schedule(sim::Time::seconds(1.0 / cfg_.rate_pps),
                          [this] { emit(); });

@@ -23,6 +23,12 @@ void FlowRegistry::record_sent(std::uint32_t flow_id, std::uint32_t bytes) {
   it->second.sent_bytes += bytes;
 }
 
+void FlowRegistry::record_sent(std::uint32_t flow_id, std::uint32_t bytes,
+                               sim::Time now) {
+  record_sent(flow_id, bytes);
+  if (outage_query_ && outage_query_(now)) ++sent_during_outage_;
+}
+
 void FlowRegistry::record_delivery(std::uint32_t flow_id, std::uint64_t seq,
                                    std::uint32_t bytes, sim::Time sent_at,
                                    sim::Time now) {
@@ -41,6 +47,7 @@ void FlowRegistry::record_delivery(std::uint32_t flow_id, std::uint64_t seq,
 
   ++r.delivered;
   r.delivered_bytes += bytes;
+  if (outage_query_ && outage_query_(sent_at)) ++delivered_during_outage_;
   const double delay_s = (now - sent_at).to_seconds();
 
   // Welford update.

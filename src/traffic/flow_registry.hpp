@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -58,8 +59,25 @@ class FlowRegistry {
                             net::Address dst);
 
   void record_sent(std::uint32_t flow_id, std::uint32_t bytes);
+  // Timestamped variant: additionally classifies the packet against the
+  // outage query (below). Sources use this one.
+  void record_sent(std::uint32_t flow_id, std::uint32_t bytes, sim::Time now);
   void record_delivery(std::uint32_t flow_id, std::uint64_t seq,
                        std::uint32_t bytes, sim::Time sent_at, sim::Time now);
+
+  // Resilience accounting: when set (fault-enabled runs), packets whose
+  // send time satisfies the predicate count toward the during-outage
+  // aggregates; deliveries are classified by their *send* time, so a
+  // packet's bucket is decided once. Unset by default — zero cost.
+  void set_outage_query(std::function<bool(sim::Time)> query) {
+    outage_query_ = std::move(query);
+  }
+  [[nodiscard]] std::uint64_t sent_during_outage() const {
+    return sent_during_outage_;
+  }
+  [[nodiscard]] std::uint64_t delivered_during_outage() const {
+    return delivered_during_outage_;
+  }
 
   [[nodiscard]] const FlowRecord* find(std::uint32_t flow_id) const;
   [[nodiscard]] std::vector<FlowRecord> snapshot() const;
@@ -75,6 +93,9 @@ class FlowRegistry {
 
  private:
   std::map<std::uint32_t, FlowRecord> flows_;
+  std::function<bool(sim::Time)> outage_query_;
+  std::uint64_t sent_during_outage_ = 0;
+  std::uint64_t delivered_during_outage_ = 0;
 };
 
 }  // namespace wmn::traffic

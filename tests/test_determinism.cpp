@@ -110,6 +110,33 @@ TEST(Determinism, PoolVsSerialFingerprintsPerReplication) {
   }
 }
 
+// Same contract with the fault layer live: seeded churn (crash times,
+// victims, downtimes, and the rejoin jitter they trigger) must be a
+// pure function of (config, seed), so pooled execution of replications
+// reproduces the serial fingerprints — including the resilience
+// fields, which join the digest for fault-enabled runs.
+TEST(Determinism, PoolVsSerialFingerprintsWithChurn) {
+  exp::ScenarioConfig cfg = mid_size_config(42, core::Protocol::kClnlr);
+  cfg.n_nodes = 25;
+  cfg.traffic.n_flows = 4;
+  cfg.traffic_time = sim::Time::seconds(8.0);
+  cfg.fault.churn.rate_per_s = 0.25;
+  cfg.fault.churn.mean_downtime = sim::Time::seconds(2.0);
+  cfg.fault.churn.start = cfg.warmup;
+  cfg.fault.churn.stop = cfg.warmup + cfg.traffic_time;
+  const auto serial = exp::run_replications(cfg, 3, 1);
+  const auto pooled = exp::run_replications(cfg, 3, 4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  bool any_crashes = false;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].fault_enabled);
+    any_crashes = any_crashes || serial[i].fault_crashes > 0;
+    EXPECT_EQ(exp::fingerprint(serial[i]), exp::fingerprint(pooled[i]))
+        << "rep " << i;
+  }
+  EXPECT_TRUE(any_crashes);
+}
+
 TEST(Determinism, FingerprintOrderSensitive) {
   sim::Fingerprint a;
   a.mix(std::uint64_t{1});

@@ -97,6 +97,28 @@ TEST(RouteTable, PrecursorsAccumulate) {
   EXPECT_EQ(t.find(net::Address(5))->precursors.size(), 2u);
 }
 
+TEST(RouteTable, RemovePrecursorScrubsEveryEntry) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.upsert(entry(6, 3, 2, sim::Time::seconds(10.0)));
+  t.add_precursor(net::Address(5), net::Address(8));
+  t.add_precursor(net::Address(5), net::Address(9));
+  t.add_precursor(net::Address(6), net::Address(8));
+  t.remove_precursor(net::Address(8));
+  EXPECT_EQ(t.find(net::Address(5))->precursors.size(), 1u);
+  EXPECT_TRUE(t.find(net::Address(5))->precursors.contains(net::Address(9)));
+  EXPECT_TRUE(t.find(net::Address(6))->precursors.empty());
+}
+
+TEST(RouteTable, ClearDropsEverything) {
+  RouteTable t;
+  t.upsert(entry(5, 2, 3, sim::Time::seconds(10.0)));
+  t.upsert(entry(6, 2, 3, sim::Time::seconds(10.0)));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find(net::Address(5)), nullptr);
+}
+
 TEST(RouteTable, PurgeRemovesLongDeadEntries) {
   RouteTable t;
   t.upsert(entry(5, 2, 3, sim::Time::seconds(1.0)));
