@@ -59,6 +59,31 @@ BENCHMARK(BM_Reference100Nodes6pps)
     ->Iterations(2)
     ->Unit(benchmark::kMillisecond);
 
+// 400-node scale point: the reference mesh's density and operating
+// point over a 2000x2000 m area, with a shorter traffic window so the
+// wall cost stays CI-sized. Tracks how the channel hot path (spatial
+// index + neighbour caches, on by default) scales with N — at this
+// size the full O(N^2) scan would dominate the event loop.
+void BM_Scale400Nodes6pps(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg = reference_config(core::Protocol::kClnlr);
+    cfg.n_nodes = 400;
+    cfg.area_width_m = 2000.0;
+    cfg.area_height_m = 2000.0;
+    cfg.traffic.n_flows = 40;
+    cfg.traffic_time = sim::Time::seconds(8.0);
+    exp::Scenario s(cfg);
+    s.run();
+    events += s.simulator().events_executed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_events"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_Scale400Nodes6pps)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -5,14 +5,19 @@
 // gate; the pinned subset CI runs is listed in .github/workflows/ci.yml.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "exp/scenario.hpp"
 #include "fault/injector.hpp"
 #include "mac/mac_header.hpp"
+#include "mobility/mobility_model.hpp"
 #include "perf_json.hpp"
 #include "net/packet.hpp"
+#include "phy/channel.hpp"
 #include "phy/propagation.hpp"
+#include "phy/wifi_phy.hpp"
 #include "routing/messages.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -171,6 +176,56 @@ void BM_FaultOverlayLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultOverlayLookup)->Arg(1)->Arg(4)->Arg(16);
+
+// Broadcast fan-out kernel: one transmit() on a static sparse mesh,
+// spatial index off (full O(N) scan per transmit) vs on (grid cull +
+// cached link budgets). The pair quantifies the index's speedup on the
+// channel hot path; the determinism contract (test_spatial_index)
+// guarantees both variants do identical delivery work. Not part of the
+// CI-pinned baseline subset — the on/off ratio is the number that
+// matters, not the absolute time of either variant.
+void BM_TransmitFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  // ~14 in-range neighbours per node regardless of N (sparse mesh,
+  // LogDistance default detection range ~830 m).
+  const double side = 400.0 * std::sqrt(static_cast<double>(n));
+  sim::Simulator sim(1);
+  sim::RngStream rng(1, 42);
+  std::vector<std::unique_ptr<mobility::ConstantPositionModel>> models;
+  std::vector<std::unique_ptr<phy::WifiPhy>> phys;
+  // Declared after the models: the channel's index detaches from them
+  // in its destructor, so it must die first.
+  auto channel = std::make_unique<phy::WirelessChannel>(
+      sim, std::make_unique<phy::LogDistanceModel>());
+  if (indexed) channel->enable_spatial_index(side, side);
+  for (std::size_t i = 0; i < n; ++i) {
+    models.push_back(std::make_unique<mobility::ConstantPositionModel>(
+        mobility::Vec2{rng.uniform01() * side, rng.uniform01() * side}));
+    phys.push_back(std::make_unique<phy::WifiPhy>(
+        sim, phy::PhyConfig{}, static_cast<std::uint32_t>(i),
+        models.back().get()));
+    channel->attach(phys.back().get());
+  }
+  net::PacketFactory factory;
+  std::size_t src = 0;
+  for (auto _ : state) {
+    net::Packet p = factory.make(64, sim.now());
+    channel->transmit(*phys[src], p, phys[src]->tx_duration(64));
+    sim.run();  // drain the scheduled deliveries
+    src = src + 1 == n ? 0 : src + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["copies_delivered"] = benchmark::Counter(
+      static_cast<double>(channel->counters().copies_delivered) /
+      static_cast<double>(state.iterations()));
+  channel.reset();
+}
+BENCHMARK(BM_TransmitFanout)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({400, 0})
+    ->Args({400, 1});
 
 // Full-stack throughput: simulated seconds per wall second for a small
 // mesh, per protocol.

@@ -22,6 +22,8 @@
 //                      across the traffic window, ~10 s mean downtime)
 //   --outage NODE T0 T1  crash NODE from T0 to T1 seconds (repeatable)
 //   --repair           enable local repair + blacklist + precursor RERR
+//   --no-spatial-index run the channel's full O(N^2) broadcast scan
+//                      (results are bit-identical; diagnostic only)
 //   --timeseries FILE  write 1 Hz network time series CSV
 //   --flows-csv FILE   write per-flow results CSV
 #include <cstring>
@@ -101,6 +103,8 @@ int main(int argc, char** argv) {
       cfg.options.aodv.local_repair = true;
       cfg.options.aodv.rrep_blacklist = true;
       cfg.options.aodv.rerr_to_precursors = true;
+    } else if (a == "--no-spatial-index") {
+      cfg.spatial_index = false;
     } else if (a == "--timeseries" && i + 1 < argc) {
       timeseries_path = argv[++i];
     } else if (a == "--flows-csv" && i + 1 < argc) {

@@ -26,6 +26,9 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
         std::move(prop), cfg_.shadowing_sigma_db, cfg_.seed);
   }
   channel_ = std::make_unique<phy::WirelessChannel>(sim_, std::move(prop));
+  if (cfg_.spatial_index) {
+    channel_->enable_spatial_index(cfg_.area_width_m, cfg_.area_height_m);
+  }
   build_nodes();
   build_traffic();
 

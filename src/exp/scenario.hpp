@@ -67,6 +67,12 @@ struct ScenarioConfig {
   sim::Time traffic_time = sim::Time::seconds(60.0);
   sim::Time drain = sim::Time::seconds(2.0);     // in-flight packets land
   std::uint64_t seed = 1;
+
+  // Channel spatial neighbourhood index + link-budget cache. Results
+  // are bit-identical either way (see docs/TOOLING.md); turn off only
+  // to benchmark the full O(N^2) scan or to isolate a suspected index
+  // bug.
+  bool spatial_index = true;
 };
 
 class Scenario {
@@ -121,8 +127,10 @@ class Scenario {
   ScenarioConfig cfg_;
   sim::Simulator sim_;
   net::PacketFactory factory_;
-  std::unique_ptr<phy::WirelessChannel> channel_;
+  // nodes_ before channel_: the channel's spatial index detaches from
+  // the mobility models in its destructor, so it must die first.
   std::vector<NodeStack> nodes_;
+  std::unique_ptr<phy::WirelessChannel> channel_;
   std::unique_ptr<fault::Injector> injector_;
   traffic::FlowRegistry registry_;
   std::vector<traffic::NodePair> flow_pairs_;

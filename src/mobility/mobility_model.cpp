@@ -31,6 +31,7 @@ void RandomWaypointModel::begin_pause() {
   leg_t0_ = sim_.now();
   leg_t1_ = sim_.now();
   next_change_ = sim_.schedule(cfg_.pause, [this] { begin_leg(); });
+  bump_epoch();  // bounds collapse to the waypoint for the pause
 }
 
 void RandomWaypointModel::begin_leg() {
@@ -44,6 +45,12 @@ void RandomWaypointModel::begin_leg() {
   const double travel_s = dist / std::max(speed, 1e-9);
   leg_t1_ = leg_t0_ + sim::Time::seconds(travel_s);
   next_change_ = sim_.schedule(sim::Time::seconds(travel_s), [this] { begin_pause(); });
+  bump_epoch();  // bounds widen to the new leg's segment box
+}
+
+TrajectoryBounds RandomWaypointModel::trajectory_bounds() const {
+  if (paused_) return TrajectoryBounds::point(leg_start_);
+  return TrajectoryBounds::box(leg_start_, leg_end_);
 }
 
 Vec2 RandomWaypointModel::position(sim::Time now) const {

@@ -4,8 +4,19 @@
 // movement leg, so there is no per-tick position event churn. The
 // random-waypoint model schedules one event per leg boundary (arrival
 // at a waypoint / end of pause).
+//
+// Movement epochs: spatial consumers (phy::SpatialIndex) need to know
+// *when a trajectory changes* without polling every node per query.
+// Each model carries a movement-epoch counter, bumped whenever the
+// trajectory it previously advertised stops being valid (a new RWP leg,
+// an explicit set_position). trajectory_bounds() returns a region that
+// provably contains the node for as long as the epoch keeps its current
+// value; a registered MotionListener is notified on every bump, so
+// consumers can cache bounds and re-bin only dirty nodes.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "mobility/vec2.hpp"
@@ -14,6 +25,40 @@
 #include "sim/time.hpp"
 
 namespace wmn::mobility {
+
+// Axis-aligned region guaranteed to contain a node's position for the
+// lifetime of one movement epoch. A *point* bound (lo == hi) means the
+// position itself is pinned until the next epoch bump — the contract
+// the phy layer's link-budget cache keys on.
+struct TrajectoryBounds {
+  Vec2 lo;
+  Vec2 hi;
+
+  [[nodiscard]] static TrajectoryBounds point(Vec2 p) { return {p, p}; }
+  [[nodiscard]] static TrajectoryBounds box(Vec2 a, Vec2 b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+  [[nodiscard]] static TrajectoryBounds unbounded() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {{-inf, -inf}, {inf, inf}};
+  }
+  [[nodiscard]] bool is_point() const { return lo.x == hi.x && lo.y == hi.y; }
+  [[nodiscard]] bool is_bounded() const {
+    return lo.x > -std::numeric_limits<double>::infinity() &&
+           hi.x < std::numeric_limits<double>::infinity() &&
+           lo.y > -std::numeric_limits<double>::infinity() &&
+           hi.y < std::numeric_limits<double>::infinity();
+  }
+};
+
+// Observer for movement-epoch bumps. `token` is the value supplied at
+// registration (the channel passes the node's attach index).
+class MotionListener {
+ public:
+  virtual ~MotionListener() = default;
+  virtual void on_motion_epoch(std::uint32_t token) = 0;
+};
 
 class MobilityModel {
  public:
@@ -28,6 +73,40 @@ class MobilityModel {
 
   // Speed magnitude convenience.
   [[nodiscard]] double speed(sim::Time now) const { return velocity(now).norm(); }
+
+  // Monotone counter identifying the current trajectory; bumped by the
+  // model whenever trajectory_bounds() would change.
+  [[nodiscard]] std::uint64_t movement_epoch() const { return epoch_; }
+
+  // Region containing the node's position while movement_epoch() keeps
+  // its current value. Default: unbounded (consumers must treat the
+  // node as potentially anywhere — the transparent fallback).
+  [[nodiscard]] virtual TrajectoryBounds trajectory_bounds() const {
+    return TrajectoryBounds::unbounded();
+  }
+
+  // At most one listener (the channel's spatial index). Pass nullptr
+  // to detach; the listener must stay valid while registered. Const:
+  // observer registration is not part of the model's logical state
+  // (consumers hold models through const pointers).
+  void set_motion_listener(MotionListener* listener,
+                           std::uint32_t token) const {
+    listener_ = listener;
+    listener_token_ = token;
+  }
+
+ protected:
+  // Derived models call this whenever their advertised trajectory
+  // changes (new leg, pause boundary, explicit reposition).
+  void bump_epoch() {
+    ++epoch_;
+    if (listener_ != nullptr) listener_->on_motion_epoch(listener_token_);
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  mutable MotionListener* listener_ = nullptr;
+  mutable std::uint32_t listener_token_ = 0;
 };
 
 // Fixed position forever (mesh routers / backbone nodes).
@@ -36,7 +115,13 @@ class ConstantPositionModel final : public MobilityModel {
   explicit ConstantPositionModel(Vec2 pos) : pos_(pos) {}
   [[nodiscard]] Vec2 position(sim::Time) const override { return pos_; }
   [[nodiscard]] Vec2 velocity(sim::Time) const override { return {0.0, 0.0}; }
-  void set_position(Vec2 pos) { pos_ = pos; }
+  [[nodiscard]] TrajectoryBounds trajectory_bounds() const override {
+    return TrajectoryBounds::point(pos_);
+  }
+  void set_position(Vec2 pos) {
+    pos_ = pos;
+    bump_epoch();
+  }
 
  private:
   Vec2 pos_;
@@ -86,6 +171,10 @@ class RandomWaypointModel final : public MobilityModel {
 
   [[nodiscard]] Vec2 position(sim::Time now) const override;
   [[nodiscard]] Vec2 velocity(sim::Time now) const override;
+  // Paused: the node is pinned at the waypoint (a point bound, so
+  // link budgets to it are cacheable until the next leg). Moving: the
+  // bounding box of the current leg segment.
+  [[nodiscard]] TrajectoryBounds trajectory_bounds() const override;
 
  private:
   void begin_pause();

@@ -1,5 +1,8 @@
 #include "phy/channel.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/check.hpp"
@@ -14,8 +17,25 @@ WirelessChannel::WirelessChannel(sim::Simulator& simulator,
 
 void WirelessChannel::attach(WifiPhy* phy) {
   WMN_CHECK_NOTNULL(phy, "attach(nullptr)");
+  phy->set_channel_index(static_cast<std::uint32_t>(radios_.size()));
   radios_.push_back(phy);
   phy->attach(this);
+  neighbor_caches_.emplace_back();
+  // A new radio can lower the shared detection floor and is a new
+  // candidate for every existing source: recompute ranges and let the
+  // version mismatch invalidate all cached neighbour lists.
+  ranges_valid_ = false;
+  if (index_ != nullptr) index_->add_node(phy->mobility());
+}
+
+void WirelessChannel::enable_spatial_index(double area_width_m,
+                                           double area_height_m) {
+  WMN_CHECK(area_width_m > 0.0 && area_height_m > 0.0,
+            "spatial index needs a positive deployment area");
+  WMN_CHECK(index_ == nullptr, "spatial index already built");
+  index_enabled_ = true;
+  area_width_m_ = area_width_m;
+  area_height_m_ = area_height_m;
 }
 
 double WirelessChannel::link_rx_power_dbm(const WifiPhy& tx,
@@ -56,14 +76,144 @@ void WirelessChannel::deliver(std::uint32_t slot) {
   rx->begin_arrival(std::move(packet), p_dbm, duration);
 }
 
+void WirelessChannel::schedule_delivery(WifiPhy* rx, const net::Packet& packet,
+                                        double p_dbm, double distance_m,
+                                        sim::Time duration) {
+  ++counters_.copies_delivered;
+  const sim::Time delay = sim::Time::seconds(distance_m / kSpeedOfLight);
+  // Each receiver gets its own (cheap, header-sharing) packet copy,
+  // parked in a recycled slot until the propagation delay elapses.
+  const std::uint32_t slot = acquire_slot();
+  PendingDelivery& d = pending_[slot];
+  d.packet.emplace(packet);
+  d.rx = rx;
+  d.rx_power_dbm = p_dbm;
+  d.duration = duration;
+  ++in_flight_;
+  sim_.schedule(delay, [this, slot] { deliver(slot); });
+}
+
+void WirelessChannel::build_spatial_index() {
+  // Cell size derives from the largest finite detection range; with
+  // only unbounded models (max_range_m == inf) the grid degenerates to
+  // coarse cells and every query returns everyone — correct, just not
+  // culled — while the link-budget cache still pays off.
+  double max_range = 0.0;
+  for (const WifiPhy* phy : radios_) {
+    const double r = propagation_->max_range_m(phy->config().tx_power_dbm,
+                                               min_detection_floor_dbm_);
+    if (std::isfinite(r)) max_range = std::max(max_range, r);
+  }
+  const double area_max = std::max(area_width_m_, area_height_m_);
+  double cell = max_range > 0.0 ? max_range / 2.0 : area_max;
+  // Keep the grid between "one cell" and "256 per axis" so neither a
+  // huge range nor a huge area degenerates it.
+  cell = std::clamp(cell, area_max / 256.0, area_max);
+  cell = std::max(cell, 1.0);
+  index_ = std::make_unique<SpatialIndex>(area_width_m_, area_height_m_, cell);
+  for (const WifiPhy* phy : radios_) index_->add_node(phy->mobility());
+}
+
+void WirelessChannel::rebuild_neighbor_cache(std::uint32_t src_index) {
+  NeighborCache& nc = neighbor_caches_[src_index];
+  nc.candidates.clear();
+  nc.culled = 0;
+  const WifiPhy& src = *radios_[src_index];
+  index_->gather(src_index, radio_range_m_[src_index], gather_scratch_);
+  nc.culled = radios_.size() - 1 - gather_scratch_.size();
+  const bool src_pinned = index_->pinned(src_index);
+  const mobility::Vec2 src_pos = index_->bounds(src_index).lo;
+  for (const std::uint32_t i : gather_scratch_) {
+    if (src_pinned && index_->pinned(i)) {
+      // Both endpoints hold still for this index version: memoise the
+      // exact budget (identical to what the model would recompute,
+      // including the shadowing per-link draw). Pairs already under
+      // the receiver's floor fold into the bulk drop count.
+      const mobility::Vec2 rx_pos = index_->bounds(i).lo;
+      const double p_dbm = propagation_->rx_power_dbm(
+          src.config().tx_power_dbm, src_pos, rx_pos, src.node_id(),
+          radios_[i]->node_id());
+      if (p_dbm < radios_[i]->config().detection_floor_dbm) {
+        ++nc.culled;
+        continue;
+      }
+      nc.candidates.push_back(
+          Candidate{i, true, p_dbm, src_pos.distance_to(rx_pos)});
+    } else {
+      nc.candidates.push_back(Candidate{i, false, 0.0, 0.0});
+    }
+  }
+  nc.built_version = index_->version();
+}
+
+void WirelessChannel::transmit_indexed(const WifiPhy& src,
+                                       const net::Packet& packet,
+                                       sim::Time duration, sim::Time now,
+                                       mobility::Vec2 tx_pos) {
+  index_->refresh();
+  const std::uint32_t s = src.channel_index();
+  NeighborCache& nc = neighbor_caches_[s];
+  if (nc.built_version != index_->version()) rebuild_neighbor_cache(s);
+  // Every receiver the index culled is provably below its detection
+  // floor: account the whole batch so the counter equals the full
+  // scan's (N-1 - examined) + individually-dropped identity.
+  counters_.copies_dropped_floor += nc.culled;
+  for (const Candidate& c : nc.candidates) {
+    WifiPhy* rx = radios_[c.rx_index];
+    if (c.budget_cached) {
+      schedule_delivery(rx, packet, c.power_dbm, c.distance_m, duration);
+      continue;
+    }
+    const mobility::Vec2 rx_pos = rx->position(now);
+    const double p_dbm = propagation_->rx_power_dbm(
+        src.config().tx_power_dbm, tx_pos, rx_pos, src.node_id(),
+        rx->node_id());
+    if (p_dbm < rx->config().detection_floor_dbm) {
+      ++counters_.copies_dropped_floor;
+      continue;
+    }
+    schedule_delivery(rx, packet, p_dbm, tx_pos.distance_to(rx_pos), duration);
+  }
+}
+
 void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
                                sim::Time duration) {
+  // A crashed radio never reaches transmit() (WifiPhy::send checks up_),
+  // but the belt is cheap and keeps the invariant local. The guard runs
+  // before any counting: a downed source's send is not a transmission.
+  if (fault_ != nullptr && !fault_->node_up(src.node_id())) return;
   ++counters_.transmissions;
   const sim::Time now = sim_.now();
   const mobility::Vec2 tx_pos = src.position(now);
-  // A crashed radio never reaches transmit() (WifiPhy::send checks up_),
-  // but the belt is cheap and keeps the invariant local.
-  if (fault_ != nullptr && !fault_->node_up(src.node_id())) return;
+
+  // Indexed fast path. With a fault overlay installed we take the full
+  // scan instead: the overlay decides per receiver whether a drop is a
+  // fault drop or a floor drop, and that attribution (plus blackout
+  // attenuation) must see every pair in order.
+  if (index_enabled_ && fault_ == nullptr) {
+    if (!ranges_valid_) {
+      min_detection_floor_dbm_ = std::numeric_limits<double>::infinity();
+      for (const WifiPhy* rx : radios_) {
+        min_detection_floor_dbm_ =
+            std::min(min_detection_floor_dbm_, rx->config().detection_floor_dbm);
+      }
+      radio_range_m_.resize(radios_.size());
+      for (std::size_t i = 0; i < radios_.size(); ++i) {
+        radio_range_m_[i] = propagation_->max_range_m(
+            radios_[i]->config().tx_power_dbm, min_detection_floor_dbm_);
+      }
+      // Ranges feed the cached candidate lists: force rebuilds.
+      for (NeighborCache& nc : neighbor_caches_) {
+        nc.built_version = ~std::uint64_t{0};
+      }
+      ranges_valid_ = true;
+    }
+    // Grid sizing needs the detection floor, so the ranges block above
+    // must run first.
+    if (index_ == nullptr) build_spatial_index();
+    transmit_indexed(src, packet, duration, now, tx_pos);
+    return;
+  }
 
   for (WifiPhy* rx : radios_) {
     if (rx == &src) continue;
@@ -81,19 +231,7 @@ void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
       ++counters_.copies_dropped_floor;
       continue;
     }
-    ++counters_.copies_delivered;
-    const double dist = tx_pos.distance_to(rx_pos);
-    const sim::Time delay = sim::Time::seconds(dist / kSpeedOfLight);
-    // Each receiver gets its own (cheap, header-sharing) packet copy,
-    // parked in a recycled slot until the propagation delay elapses.
-    const std::uint32_t slot = acquire_slot();
-    PendingDelivery& d = pending_[slot];
-    d.packet.emplace(packet);
-    d.rx = rx;
-    d.rx_power_dbm = p_dbm;
-    d.duration = duration;
-    ++in_flight_;
-    sim_.schedule(delay, [this, slot] { deliver(slot); });
+    schedule_delivery(rx, packet, p_dbm, tx_pos.distance_to(rx_pos), duration);
   }
 }
 

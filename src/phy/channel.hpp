@@ -12,6 +12,26 @@
 // slot index), which keeps it inside EventFn's inline buffer — a packet
 // capture would not fit, by design — and reuses delivery storage
 // instead of allocating per receiver.
+//
+// Broadcast fan-out cost: the naive transmit() walks all N radios with
+// a propagation-model call per pair — O(N^2) for broadcast-heavy
+// discovery even though most receivers sit far below the detection
+// floor. enable_spatial_index() activates two layers on top:
+//
+//   * a phy::SpatialIndex (uniform grid fed by mobility epochs) culls
+//     receivers provably out of range (PropagationModel::max_range_m)
+//     before any propagation math;
+//   * a per-source neighbour cache memoises the candidate list and,
+//     for pinned-position pairs (both mobility bounds are points), the
+//     full link budget — including the shadowing per-link hash — so a
+//     static mesh pays the propagation model once per link per run.
+//
+// The indexed path is bit-identical to the full scan: candidates are
+// examined in attach order, culled pairs are provably below the floor
+// and are bulk-accounted as copies_dropped_floor, and cached budgets
+// are the exact values the model would recompute. With a fault overlay
+// installed the channel reverts to the full scan so the overlay's
+// counter attribution (fault vs floor drops) stays exact.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +42,7 @@
 #include "net/packet.hpp"
 #include "phy/fault_overlay.hpp"
 #include "phy/propagation.hpp"
+#include "phy/spatial_index.hpp"
 #include "phy/wifi_phy.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,6 +62,18 @@ class WirelessChannel {
   // Broadcast `packet` from `src` to every other attached radio.
   // Called by WifiPhy::send(); not part of the public user API.
   void transmit(const WifiPhy& src, const net::Packet& packet, sim::Time duration);
+
+  // Turn on the spatial neighbourhood index + link-budget cache for
+  // the given deployment area. Callable before or after attaches; the
+  // grid itself is built lazily on the first transmission (cell size
+  // derives from the radios' detection range, known only then).
+  // Results are bit-identical with the index on or off.
+  void enable_spatial_index(double area_width_m, double area_height_m);
+
+  [[nodiscard]] bool spatial_index_enabled() const { return index_enabled_; }
+  // Diagnostics/tests: null until enabled AND the first indexed
+  // transmission built the grid.
+  [[nodiscard]] const SpatialIndex* spatial_index() const { return index_.get(); }
 
   [[nodiscard]] std::size_t radio_count() const { return radios_.size(); }
 
@@ -73,8 +106,37 @@ class WirelessChannel {
   };
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
+  // One candidate receiver in a source's cached neighbour list. For
+  // pinned-position pairs the link budget and distance are memoised;
+  // pairs with a mobile endpoint recompute them per transmission.
+  struct Candidate {
+    std::uint32_t rx_index = 0;
+    bool budget_cached = false;
+    double power_dbm = 0.0;
+    double distance_m = 0.0;
+  };
+
+  // Per-source candidate list, valid for one SpatialIndex version.
+  // `culled` counts receivers provably below the detection floor for
+  // this version (out of range, or a pinned pair whose exact cached
+  // budget is under the receiver's floor) — bulk-added to
+  // copies_dropped_floor per transmission so the counter matches the
+  // full scan exactly.
+  struct NeighborCache {
+    std::uint64_t built_version = ~std::uint64_t{0};
+    std::vector<Candidate> candidates;
+    std::uint64_t culled = 0;
+  };
+
   std::uint32_t acquire_slot();
   void deliver(std::uint32_t slot);
+  void schedule_delivery(WifiPhy* rx, const net::Packet& packet,
+                         double p_dbm, double distance_m, sim::Time duration);
+  void build_spatial_index();
+  void rebuild_neighbor_cache(std::uint32_t src_index);
+  void transmit_indexed(const WifiPhy& src, const net::Packet& packet,
+                        sim::Time duration, sim::Time now,
+                        mobility::Vec2 tx_pos);
 
   sim::Simulator& sim_;
   std::unique_ptr<PropagationModel> propagation_;
@@ -84,6 +146,17 @@ class WirelessChannel {
   std::uint32_t free_head_ = kNilSlot;
   std::size_t in_flight_ = 0;
   Counters counters_;
+
+  // --- spatial index state (inert unless enable_spatial_index()) ------
+  bool index_enabled_ = false;
+  double area_width_m_ = 0.0;
+  double area_height_m_ = 0.0;
+  std::unique_ptr<SpatialIndex> index_;
+  bool ranges_valid_ = false;
+  double min_detection_floor_dbm_ = 0.0;
+  std::vector<double> radio_range_m_;      // per attach index
+  std::vector<NeighborCache> neighbor_caches_;
+  std::vector<std::uint32_t> gather_scratch_;
 };
 
 }  // namespace wmn::phy

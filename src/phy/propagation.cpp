@@ -35,6 +35,14 @@ double FriisModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
   return tx_power_dbm - pl_db;
 }
 
+double FriisModel::max_range_m(double tx_power_dbm, double floor_dbm) const {
+  // tx - 20 log10(4 pi d / lambda) - L >= floor  <=>
+  // d <= lambda / (4 pi) * 10^((tx - L - floor) / 20).
+  const double lambda = kSpeedOfLight / frequency_hz_;
+  return lambda / (4.0 * std::numbers::pi) *
+         std::pow(10.0, (tx_power_dbm - system_loss_db_ - floor_dbm) / 20.0);
+}
+
 // --- Log-distance -------------------------------------------------------
 
 LogDistanceModel::LogDistanceModel(double exponent, double reference_distance_m,
@@ -53,6 +61,16 @@ double LogDistanceModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos
   const double pl_db =
       reference_loss_db_ + 10.0 * exponent_ * std::log10(d / reference_distance_m_);
   return tx_power_dbm - pl_db;
+}
+
+double LogDistanceModel::max_range_m(double tx_power_dbm,
+                                     double floor_dbm) const {
+  // Power is constant for d <= d0 and strictly decreasing beyond, so
+  // the inversion is exact. A result below d0 means even the clamped
+  // near-field power sits under the floor: nothing is in range.
+  return reference_distance_m_ *
+         std::pow(10.0, (tx_power_dbm - reference_loss_db_ - floor_dbm) /
+                            (10.0 * exponent_));
 }
 
 // --- Two-ray ground -----------------------------------------------------
@@ -80,6 +98,18 @@ double TwoRayGroundModel::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_po
   return tx_power_dbm + linear_to_db(gain_lin);
 }
 
+double TwoRayGroundModel::max_range_m(double tx_power_dbm,
+                                      double floor_dbm) const {
+  // Beyond max(r_friis, r_ground) both pieces are below the floor, so
+  // whichever side of the crossover a distance falls on, it is out of
+  // range. r_ground from Pt * h^4 / d^4 >= floor (linear):
+  // d <= h * 10^((tx - floor) / 40).
+  const double r_friis = friis_.max_range_m(tx_power_dbm, floor_dbm);
+  const double r_ground =
+      antenna_height_m_ * std::pow(10.0, (tx_power_dbm - floor_dbm) / 40.0);
+  return std::max(r_friis, r_ground);
+}
+
 // --- Log-normal shadowing -------------------------------------------------
 
 LogNormalShadowing::LogNormalShadowing(std::unique_ptr<PropagationModel> inner,
@@ -105,6 +135,15 @@ double LogNormalShadowing::rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_p
                                         std::uint32_t rx_id) const {
   return inner_->rx_power_dbm(tx_power_dbm, tx_pos, rx_pos, tx_id, rx_id) +
          link_offset_db(tx_id, rx_id);
+}
+
+double LogNormalShadowing::max_range_m(double tx_power_dbm,
+                                       double floor_dbm) const {
+  // The per-link offset is provably inside +-kSigmaBound * sigma (see
+  // the header), so any pair whose *inner* power is below
+  // floor - kSigmaBound * sigma is below floor after shadowing too.
+  return inner_->max_range_m(tx_power_dbm,
+                             floor_dbm - kSigmaBound * sigma_db_);
 }
 
 }  // namespace wmn::phy

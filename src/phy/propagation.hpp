@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "mobility/vec2.hpp"
@@ -23,6 +24,21 @@ class PropagationModel {
                                             mobility::Vec2 rx_pos,
                                             std::uint32_t tx_id,
                                             std::uint32_t rx_id) const = 0;
+
+  // Inverse of the path-loss curve: a distance R such that for EVERY
+  // pair of positions farther apart than R and every link identity,
+  // rx_power_dbm(tx_power_dbm, ...) < floor_dbm. The bound must be
+  // conservative (it may overestimate the true range) but never tight
+  // the wrong way — the spatial index culls receivers beyond R without
+  // evaluating the model, and a false cull would change delivered sets.
+  // Models that cannot bound themselves return +infinity, which makes
+  // the index fall back to the full receiver scan transparently.
+  [[nodiscard]] virtual double max_range_m(double tx_power_dbm,
+                                           double floor_dbm) const {
+    (void)tx_power_dbm;
+    (void)floor_dbm;
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 // Free-space (Friis) model: PL(d) = 20 log10(4 pi d f / c).
@@ -33,6 +49,9 @@ class FriisModel final : public PropagationModel {
   [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
                                     mobility::Vec2 rx_pos, std::uint32_t,
                                     std::uint32_t) const override;
+
+  [[nodiscard]] double max_range_m(double tx_power_dbm,
+                                   double floor_dbm) const override;
 
  private:
   double frequency_hz_;
@@ -53,6 +72,9 @@ class LogDistanceModel final : public PropagationModel {
                                     mobility::Vec2 rx_pos, std::uint32_t,
                                     std::uint32_t) const override;
 
+  [[nodiscard]] double max_range_m(double tx_power_dbm,
+                                   double floor_dbm) const override;
+
   [[nodiscard]] double exponent() const { return exponent_; }
 
  private:
@@ -71,6 +93,11 @@ class TwoRayGroundModel final : public PropagationModel {
                                     mobility::Vec2 rx_pos, std::uint32_t,
                                     std::uint32_t) const override;
 
+  // Max of the two regimes' inversions: beyond both, whichever piece
+  // applies at a given distance is below the floor.
+  [[nodiscard]] double max_range_m(double tx_power_dbm,
+                                   double floor_dbm) const override;
+
  private:
   FriisModel friis_;
   double frequency_hz_;
@@ -88,6 +115,19 @@ class LogNormalShadowing final : public PropagationModel {
   [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
                                     mobility::Vec2 rx_pos, std::uint32_t tx_id,
                                     std::uint32_t rx_id) const override;
+
+  // Inner range at a floor lowered by kSigmaBound * sigma. The offset
+  // is one Marsaglia-polar normal draw from RngStream: |z| is provably
+  // < sqrt(-2 ln s_min) with s_min = 2^-104 (u, v are multiples of
+  // 2^-52 and s = 0 is rejected), i.e. |z| < 12.01 — so a 12.5-sigma
+  // pad makes the cull exact, not merely probable. The pad is large in
+  // distance terms (sigma 6 dB inflates a log-distance range ~1000x),
+  // so shadowed runs mostly degrade to the full scan — correct first,
+  // fast where provable.
+  static constexpr double kSigmaBound = 12.5;
+
+  [[nodiscard]] double max_range_m(double tx_power_dbm,
+                                   double floor_dbm) const override;
 
  private:
   [[nodiscard]] double link_offset_db(std::uint32_t a, std::uint32_t b) const;

@@ -111,6 +111,14 @@ class WifiPhy {
   [[nodiscard]] mobility::Vec2 position(sim::Time now) const {
     return mobility_->position(now);
   }
+  [[nodiscard]] const mobility::MobilityModel* mobility() const {
+    return mobility_;
+  }
+  // Dense position in the channel's radio list, assigned by
+  // WirelessChannel::attach(); keys the channel's spatial index and
+  // neighbour caches (node_id is user-chosen and need not be dense).
+  void set_channel_index(std::uint32_t i) { channel_index_ = i; }
+  [[nodiscard]] std::uint32_t channel_index() const { return channel_index_; }
   [[nodiscard]] std::uint32_t node_id() const { return node_id_; }
   [[nodiscard]] const PhyConfig& config() const { return cfg_; }
 
@@ -170,6 +178,7 @@ class WifiPhy {
   sim::Simulator& sim_;
   PhyConfig cfg_;
   std::uint32_t node_id_;
+  std::uint32_t channel_index_ = 0;
   const mobility::MobilityModel* mobility_;
   WirelessChannel* channel_ = nullptr;
   PhyListener* listener_ = nullptr;

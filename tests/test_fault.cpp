@@ -149,6 +149,31 @@ TEST(FaultInjector, CrashedNodeDropsOfferedTraffic) {
   EXPECT_GE(tb.agents[0]->counters().data_dropped_node_down, 4u);
 }
 
+// Regression: a transmission from a crashed source must be rejected
+// *before* any counting — the transmissions counter used to increment
+// ahead of the fault guard, so a downed source's send inflated it even
+// though no energy ever reached the air.
+TEST(FaultInjector, DownedSourceTransmitCountsNothing) {
+  FaultBed tb(line5());
+  FaultPlan plan;
+  plan.outages.push_back({0, sim::Time::seconds(1.0), sim::Time::seconds(9.0)});
+  tb.arm(std::move(plan));
+  // Other nodes' hello broadcasts keep the counters moving on their
+  // own; the assertion is on the *delta* across the injected transmit
+  // (transmit() is synchronous, so before/after brackets exactly it).
+  tb.sim.schedule_at(sim::Time::seconds(2.0), [&tb] {
+    const auto before = tb.channel.counters();
+    net::Packet p = tb.factory.make(64, tb.sim.now());
+    tb.channel.transmit(*tb.phys[0], p, tb.phys[0]->tx_duration(64));
+    const auto after = tb.channel.counters();
+    EXPECT_EQ(after.transmissions, before.transmissions);
+    EXPECT_EQ(after.copies_delivered, before.copies_delivered);
+    EXPECT_EQ(after.copies_dropped_floor, before.copies_dropped_floor);
+    EXPECT_EQ(after.copies_dropped_fault, before.copies_dropped_fault);
+  });
+  tb.sim.run_until(sim::Time::seconds(3.0));
+}
+
 // Satellite 1 regression: crashing routers *mid-discovery* — while
 // RREQ rebroadcast jitter timers, reply timers, and retry timers are
 // all pending — must cancel every per-agent event. Under ASan a stale
