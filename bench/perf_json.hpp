@@ -112,6 +112,8 @@ inline int run_benchmark_main(int argc, char** argv, const std::string& suite) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  // Bench-harness output path selection; never touches simulation state.
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
   const char* env = std::getenv("WMN_BENCH_JSON");
   const std::string path = (env != nullptr && *env != '\0')
                                ? std::string(env)

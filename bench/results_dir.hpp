@@ -14,6 +14,8 @@
 namespace wmnbench {
 
 inline std::filesystem::path results_dir() {
+  // Bench-harness output path selection; never touches simulation state.
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
   const char* env = std::getenv("WMN_RESULTS_DIR");
   std::filesystem::path dir =
       (env != nullptr && *env != '\0') ? env : "results";

@@ -92,7 +92,9 @@ inline void on_failure(const char* expr, const char* msg, const char* file,
   if (policy_slot().load(std::memory_order_relaxed) == CheckPolicy::kAbort) {
     report("CHECK failed", expr, msg, file, line);
     std::fflush(stderr);
-    std::abort();
+    // This IS the sanctioned failure path wmn-no-raw-assert points
+    // everyone else at; the one place abort() may appear raw.
+    std::abort();  // NOLINT(wmn-no-raw-assert)
   }
   const std::uint64_t n =
       violation_slot().fetch_add(1, std::memory_order_relaxed);
@@ -105,7 +107,7 @@ inline void on_failure(const char* expr, const char* msg, const char* file,
                                         int line) {
   report("UNREACHABLE reached", "-", msg, file, line);
   std::fflush(stderr);
-  std::abort();
+  std::abort();  // NOLINT(wmn-no-raw-assert): WMN_UNREACHABLE's own exit
 }
 
 }  // namespace check_detail

@@ -202,6 +202,10 @@ std::optional<unsigned long long> env_positive(const char* name,
 }  // namespace
 
 std::size_t env_reps(std::size_t default_reps) {
+  // Operator knob read once at sweep setup, before any worker spawns.
+  // It changes how many replications run, never the per-replication
+  // seed derivation, so results stay a pure function of (config, seed).
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
   if (const char* s = std::getenv("WMN_REPS"); s != nullptr) {
     if (const auto v = env_positive("WMN_REPS", s); v.has_value()) {
       return static_cast<std::size_t>(*v);
@@ -211,6 +215,9 @@ std::size_t env_reps(std::size_t default_reps) {
 }
 
 unsigned env_threads() {
+  // Same contract as WMN_REPS: thread count is bit-invisible in the
+  // results (pool-vs-serial fingerprint test pins this).
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
   if (const char* s = std::getenv("WMN_THREADS"); s != nullptr) {
     if (const auto v = env_positive("WMN_THREADS", s); v.has_value()) {
       if (*v > std::numeric_limits<unsigned>::max()) {
@@ -227,6 +234,9 @@ unsigned env_threads() {
 }
 
 void apply_quick_mode(ScenarioConfig& cfg) {
+  // Explicit operator opt-in that edits the config itself; anything it
+  // changes is visible in the config the fingerprint derives from.
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
   if (std::getenv("WMN_QUICK") != nullptr) {
     cfg.traffic_time = sim::Time::seconds(15.0);
   }

@@ -59,11 +59,15 @@ AodvAgent::~AodvAgent() { cancel_all_timers(); }
 void AodvAgent::cancel_all_timers() {
   sim_.cancel(hello_timer_);
   sim_.cancel(housekeeping_timer_);
+  // Cancel is per-timer and idempotent; no event is scheduled or sent,
+  // so the unordered visit order is unobservable.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto& [key, rec] : rreq_cache_) {
     sim_.cancel(rec.assess_timer);
     sim_.cancel(rec.reply_timer);
     sim_.cancel(rec.forward_timer);
   }
+  // NOLINTNEXTLINE(wmn-unordered-iteration): same argument as above.
   for (auto& [dest, d] : discoveries_) sim_.cancel(d.timer);
 }
 
@@ -71,6 +75,8 @@ void AodvAgent::pause() {
   if (paused_) return;
   paused_ = true;
   cancel_all_timers();
+  // Integer-sum over the buffered queues: commutative, no events.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (const auto& [dest, q] : buffers_) {
     counters_.data_dropped_buffer += q.size();
   }
@@ -299,12 +305,12 @@ void AodvAgent::on_discovery_timeout(net::Address dest) {
     // The repair failed: deliver the RERR we withheld when the link
     // broke, so upstream nodes stop sending through us.
     std::uint32_t s = 0;
-    std::unordered_set<net::Address> prec;
+    std::vector<net::Address> prec;
     if (RouteEntry* e = routes_.find(dest); e != nullptr) {
       s = e->dest_seqno;
-      prec = e->precursors;
+      prec.assign(e->precursors.begin(), e->precursors.end());
     }
-    emit_rerr({dest}, {s}, prec);
+    emit_rerr({dest}, {s}, std::move(prec));
   }
   drop_buffer(dest, "discovery failed");
 }
@@ -707,13 +713,13 @@ void AodvAgent::handle_data(net::Packet packet, net::Address src) {
     // sender is a precursor by construction — it just routed data
     // through us — so it is always among the candidate recipients.
     std::uint32_t s = 0;
-    std::unordered_set<net::Address> prec;
+    std::vector<net::Address> prec;
     if (RouteEntry* e = routes_.find(hdr.dest); e != nullptr) {
       s = e->dest_seqno;
-      prec = e->precursors;
+      prec.assign(e->precursors.begin(), e->precursors.end());
     }
-    prec.insert(src);
-    emit_rerr({hdr.dest}, {s}, prec);
+    prec.push_back(src);
+    emit_rerr({hdr.dest}, {s}, std::move(prec));
     return;
   }
 
@@ -825,32 +831,41 @@ void AodvAgent::handle_link_break(net::Address next_hop,
 
   std::vector<net::Address> dests;
   std::vector<std::uint32_t> seqnos;
-  std::unordered_set<net::Address> precursors;
+  std::vector<net::Address> precursors;
   for (net::Address d : affected) {
     if (auto inv = routes_.invalidate(d, now()); inv.has_value()) {
       note_route_broken(d);
       if (d == repair_dest) continue;  // repaired locally, no RERR yet
       dests.push_back(d);
       seqnos.push_back(inv->dest_seqno);
-      precursors.insert(inv->precursors.begin(), inv->precursors.end());
+      precursors.insert(precursors.end(), inv->precursors.begin(),
+                        inv->precursors.end());
     }
   }
-  if (!dests.empty()) emit_rerr(dests, seqnos, precursors);
+  if (!dests.empty()) emit_rerr(dests, seqnos, std::move(precursors));
 }
 
 void AodvAgent::emit_rerr(const std::vector<net::Address>& dests,
                           const std::vector<std::uint32_t>& seqnos,
-                          const std::unordered_set<net::Address>& precursors) {
+                          std::vector<net::Address> precursor_list) {
   if (!cfg_.rerr_to_precursors) {
     send_rerr(dests, seqnos, net::Address::broadcast());
     return;
   }
+  // Precursors were collected from unordered sets; normalise to a
+  // sorted unique list so the fan-out below is a function of the
+  // logical precursor set, never of hash-bucket layout (which varies
+  // with reserve/rehash history).
+  std::sort(precursor_list.begin(), precursor_list.end());
+  precursor_list.erase(
+      std::unique(precursor_list.begin(), precursor_list.end()),
+      precursor_list.end());
   // Section 6.11 delivery discipline: nobody routes through us ->
   // nothing to say; exactly one live precursor -> unicast (gets MAC
   // ACK/retries); otherwise broadcast.
   net::Address sole;
   std::size_t live = 0;
-  for (net::Address p : precursors) {
+  for (net::Address p : precursor_list) {
     if (!neighbors_.contains(p)) continue;
     ++live;
     sole = p;
@@ -892,7 +907,7 @@ void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
 
   std::vector<net::Address> propagate;
   std::vector<std::uint32_t> seqnos;
-  std::unordered_set<net::Address> precursors;
+  std::vector<net::Address> precursors;
   for (std::uint8_t i = 0; i < hdr.count; ++i) {
     const net::Address d = hdr.unreachable[i];
     RouteEntry* e = routes_.find(d);
@@ -910,9 +925,10 @@ void AodvAgent::handle_rerr(net::Packet packet, net::Address src) {
     }
     propagate.push_back(d);
     seqnos.push_back(seqno_max(inv->dest_seqno, hdr.seqno[i]));
-    precursors.insert(inv->precursors.begin(), inv->precursors.end());
+    precursors.insert(precursors.end(), inv->precursors.begin(),
+                      inv->precursors.end());
   }
-  if (!propagate.empty()) emit_rerr(propagate, seqnos, precursors);
+  if (!propagate.empty()) emit_rerr(propagate, seqnos, std::move(precursors));
 }
 
 // --------------------------------------------------------------------------
@@ -949,7 +965,13 @@ void AodvAgent::handle_hello(net::Packet packet, net::Address src) {
 void AodvAgent::housekeeping() {
   routes_.purge(now(), cfg_.dead_route_retention);
 
+  // The four purge loops below erase entries judged independently
+  // against `now` (plus integer counter bumps): the surviving state is
+  // identical for any visit order and nothing is scheduled or sent, so
+  // unordered iteration cannot leak hash layout into the event stream.
+
   // Expired RREQ records.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto it = rreq_cache_.begin(); it != rreq_cache_.end();) {
     const RreqRecord& rec = it->second;
     const bool timers_live = sim_.pending(rec.assess_timer) ||
@@ -963,12 +985,14 @@ void AodvAgent::housekeeping() {
   }
 
   // Expired blacklist entries.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto it = blacklist_.begin(); it != blacklist_.end();) {
     it = it->second <= now() ? blacklist_.erase(it) : std::next(it);
   }
 
   // Breaks whose route never came back: stop waiting after the same
   // horizon that reclaims dead route entries.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto it = broken_at_.begin(); it != broken_at_.end();) {
     if (it->second + cfg_.dead_route_retention <= now()) {
       ++counters_.route_recovery_abandoned;
@@ -979,6 +1003,7 @@ void AodvAgent::housekeeping() {
   }
 
   // Stale buffered packets.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto it = buffers_.begin(); it != buffers_.end();) {
     auto& q = it->second;
     while (!q.empty() && q.front().enqueued + cfg_.buffer_timeout <= now()) {

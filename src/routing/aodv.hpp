@@ -27,7 +27,6 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "mac/dcf_mac.hpp"
 #include "net/address.hpp"
@@ -273,10 +272,13 @@ class AodvAgent {
   void handle_link_break(net::Address next_hop,
                          net::Address repair_dest = net::Address{});
   // Decide the RERR recipient (precursor unicast / broadcast /
-  // suppression, per cfg_.rerr_to_precursors) and send.
+  // suppression, per cfg_.rerr_to_precursors) and send. `precursor_list`
+  // may arrive in any order with duplicates; it is normalised (sorted,
+  // unique) internally so the fan-out never depends on the hash layout
+  // of the unordered precursor sets it was collected from.
   void emit_rerr(const std::vector<net::Address>& dests,
                  const std::vector<std::uint32_t>& seqnos,
-                 const std::unordered_set<net::Address>& precursors);
+                 std::vector<net::Address> precursor_list);
   void send_rerr(const std::vector<net::Address>& dests,
                  const std::vector<std::uint32_t>& seqnos, net::Address target);
   void start_local_repair(net::Address dest, std::uint8_t last_hops);

@@ -1,5 +1,7 @@
 #include "routing/neighbor_table.hpp"
 
+#include <algorithm>
+
 #include "core/check.hpp"
 
 namespace wmn::routing {
@@ -45,13 +47,30 @@ const NeighborInfo* NeighborTable::info(net::Address addr) const {
 std::vector<NeighborInfo> NeighborTable::snapshot() const {
   std::vector<NeighborInfo> out;
   out.reserve(neighbors_.size());
+  // Unordered iteration is safe here by construction: the snapshot is
+  // sorted by address before it escapes, so callers never observe
+  // bucket layout. (Allowlist policy: every NOLINT on this check must
+  // state *why* hash order cannot leak — see docs/TOOLING.md.)
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (const auto& [addr, info] : neighbors_) out.push_back(info);
+  std::sort(out.begin(), out.end(),
+            [](const NeighborInfo& a, const NeighborInfo& b) {
+              return a.addr < b.addr;
+            });
   return out;
 }
 
 double NeighborTable::mean_neighbor_load() const {
   if (neighbors_.empty()) return 0.0;
   double sum = 0.0;
+  // Commutative-by-construction for the determinism contract: this is
+  // a load-index sum whose operands come from one node's serial event
+  // stream, so for a given (binary, seed) the visit order — and hence
+  // the floating-point rounding — is a pure function of the insertion
+  // history. No event or packet is emitted per element. Revisit if the
+  // event loop is ever sharded (insertion history would then depend on
+  // shard count).
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (const auto& [addr, info] : neighbors_) sum += info.load_index;
   return sum / static_cast<double>(neighbors_.size());
 }
@@ -69,6 +88,10 @@ void NeighborTable::resume() {
 void NeighborTable::sweep() {
   const sim::Time now = sim_.now();
   std::vector<net::Address> lost;
+  // Expiry is judged per entry against `now`, so the visit order cannot
+  // change *which* neighbours are lost, and the collection is sorted
+  // below before any callback fires.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto it = neighbors_.begin(); it != neighbors_.end();) {
     if (it->second.last_heard + lifetime_ <= now) {
       lost.push_back(it->first);
@@ -79,6 +102,10 @@ void NeighborTable::sweep() {
       ++it;
     }
   }
+  // Loss callbacks tear down routes and can emit RERRs; firing them in
+  // hash order would leak unordered_map bucket layout into the event
+  // stream. Sort so the fan-out order is a function of logical content.
+  std::sort(lost.begin(), lost.end());
   for (net::Address a : lost) {
     if (loss_cb_) loss_cb_(a);
   }

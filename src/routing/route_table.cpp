@@ -1,5 +1,7 @@
 #include "routing/route_table.hpp"
 
+#include <algorithm>
+
 #include "core/check.hpp"
 
 namespace wmn::routing {
@@ -58,11 +60,20 @@ std::optional<RouteEntry> RouteTable::invalidate(net::Address dest,
 
 std::vector<net::Address> RouteTable::dests_via(net::Address via, sim::Time now) {
   std::vector<net::Address> out;
+  // Collection order is normalised by the sort below; nothing escapes
+  // in hash order.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto& [dest, e] : table_) {
     if (e.state == RouteState::kValid && e.expires > now && e.next_hop == via) {
       out.push_back(dest);
     }
   }
+  // The result feeds RERR destination lists — wire-visible packet
+  // contents — so its order must be a function of the table's *logical*
+  // content, not of unordered_map bucket layout (which depends on
+  // reserve/rehash history and would couple the event stream to the
+  // standard library's hash internals).
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -72,10 +83,17 @@ void RouteTable::add_precursor(net::Address dest, net::Address precursor) {
 }
 
 void RouteTable::remove_precursor(net::Address precursor) {
+  // Erasing one key from every per-entry set is commutative: the final
+  // state is identical for any visit order and no events are emitted.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto& [dest, e] : table_) e.precursors.erase(precursor);
 }
 
 void RouteTable::purge(sim::Time now, sim::Time dead_retention) {
+  // Per-entry expiry test + erase; entries are judged independently
+  // against `now`, so the visit order cannot change the surviving set,
+  // and nothing here schedules events or sends packets.
+  // NOLINTNEXTLINE(wmn-unordered-iteration)
   for (auto it = table_.begin(); it != table_.end();) {
     const RouteEntry& e = it->second;
     const bool expired_valid =

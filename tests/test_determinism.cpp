@@ -137,6 +137,33 @@ TEST(Determinism, PoolVsSerialFingerprintsWithChurn) {
   EXPECT_TRUE(any_crashes);
 }
 
+// The RERR fan-out path made hash-layout-independent in PR 6 (sorted
+// precursor normalisation in emit_rerr, sorted dests_via, sorted
+// neighbour-loss callbacks): drive it hard — churn plus every graceful-
+// degradation feature on — and require pooled replications to
+// reproduce the serial fingerprints bit for bit. RERRs must actually
+// flow for this to mean anything, so that is asserted too.
+TEST(Determinism, PoolVsSerialFingerprintsWithChurnAndGracefulRerr) {
+  exp::ScenarioConfig cfg = mid_size_config(1337, core::Protocol::kClnlr);
+  cfg.options.aodv.local_repair = true;
+  cfg.options.aodv.rrep_blacklist = true;
+  cfg.options.aodv.rerr_to_precursors = true;
+  cfg.fault.churn.rate_per_s = 1.0;
+  cfg.fault.churn.mean_downtime = sim::Time::seconds(2.0);
+  cfg.fault.churn.start = cfg.warmup;
+  cfg.fault.churn.stop = cfg.warmup + cfg.traffic_time;
+  const auto serial = exp::run_replications(cfg, 3, 1);
+  const auto pooled = exp::run_replications(cfg, 3, 4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  std::uint64_t rerrs = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    rerrs += serial[i].rerr_tx;
+    EXPECT_EQ(exp::fingerprint(serial[i]), exp::fingerprint(pooled[i]))
+        << "rep " << i;
+  }
+  EXPECT_GT(rerrs, 0u) << "scenario never exercised the RERR fan-out";
+}
+
 TEST(Determinism, FingerprintOrderSensitive) {
   sim::Fingerprint a;
   a.mix(std::uint64_t{1});

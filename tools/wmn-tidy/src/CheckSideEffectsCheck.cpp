@@ -1,0 +1,71 @@
+#include "CheckSideEffectsCheck.h"
+
+#include <string>
+
+#include "clang/Lex/Lexer.h"
+
+namespace wmn_tidy {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace {
+
+// True when Loc sits inside an expansion of a WMN_CHECK* macro (the
+// macro name at the immediate expansion site starts with "WMN_CHECK").
+bool insideWmnCheck(SourceLocation Loc, const SourceManager &SM,
+                    const LangOptions &LangOpts) {
+  if (!Loc.isMacroID()) return false;
+  const std::string Name =
+      Lexer::getImmediateMacroName(Loc, SM, LangOpts).str();
+  return Name.rfind("WMN_CHECK", 0) == 0;
+}
+
+}  // namespace
+
+void CheckSideEffectsCheck::registerMatchers(MatchFinder *Finder) {
+  // WMN_CHECK(cond, msg) expands to `if (!(cond)) ...` — grab the if.
+  Finder->addMatcher(ifStmt().bind("if"), this);
+  // WMN_CHECK_OP_(a, op, b, msg) binds (a)/(b) to wmn_chk_{a,b}_
+  // locals; their initializers are the user-supplied expressions.
+  Finder->addMatcher(
+      varDecl(matchesName("wmn_chk_"), hasInitializer(expr().bind("init")))
+          .bind("chk-var"),
+      this);
+}
+
+void CheckSideEffectsCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  ASTContext &Ctx = *Result.Context;
+
+  const Expr *Cond = nullptr;
+  SourceLocation Loc;
+
+  if (const auto *If = Result.Nodes.getNodeAs<IfStmt>("if")) {
+    Loc = If->getIfLoc();
+    if (!insideWmnCheck(Loc, SM, Ctx.getLangOpts())) return;
+    Cond = If->getCond();
+    // Strip the `!` wrapper the macro adds around the user condition.
+    if (const auto *Not = dyn_cast_or_null<UnaryOperator>(
+            Cond != nullptr ? Cond->IgnoreParenImpCasts() : nullptr)) {
+      if (Not->getOpcode() == UO_LNot) Cond = Not->getSubExpr();
+    }
+  } else if (const auto *Var = Result.Nodes.getNodeAs<VarDecl>("chk-var")) {
+    Loc = Var->getLocation();
+    if (!insideWmnCheck(Loc, SM, Ctx.getLangOpts())) return;
+    Cond = Result.Nodes.getNodeAs<Expr>("init");
+  }
+
+  if (Cond == nullptr) return;
+  // IncludePossibleEffects=false: only definite side effects
+  // (assignment, ++/--, volatile access). Plain function calls pass;
+  // the lite engine mirrors this so fixtures agree across engines.
+  if (!Cond->HasSideEffects(Ctx, /*IncludePossibleEffects=*/false)) return;
+
+  diag(SM.getExpansionLoc(Loc),
+       "WMN_CHECK condition has side effects; under kLogAndCount the "
+       "check continues after failure, so mutation here makes state "
+       "depend on the active check policy");
+}
+
+}  // namespace wmn_tidy

@@ -1,0 +1,22 @@
+// wmn-check-side-effects: the condition handed to WMN_CHECK* must be
+// side-effect-free. Under policy kLogAndCount the macro evaluates the
+// condition and continues on failure, so a mutating condition makes
+// program state depend on which check policy is active — the exact
+// build-type fork WMN_CHECK exists to prevent.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace wmn_tidy {
+
+class CheckSideEffectsCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  CheckSideEffectsCheck(llvm::StringRef Name,
+                        clang::tidy::ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace wmn_tidy

@@ -1,0 +1,89 @@
+#include "NoRawAssertCheck.h"
+
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+
+namespace wmn_tidy {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace {
+
+// Preprocessor side: assert() expansions and NDEBUG conditionals both
+// vanish from the AST, so they can only be caught here.
+class AssertPPCallbacks : public PPCallbacks {
+ public:
+  AssertPPCallbacks(NoRawAssertCheck *Check, const SourceManager &SM)
+      : Check(Check), SM(SM) {}
+
+  void MacroExpands(const Token &MacroNameTok, const MacroDefinition &,
+                    SourceRange, const MacroArgs *) override {
+    const IdentifierInfo *II = MacroNameTok.getIdentifierInfo();
+    if (II == nullptr) return;
+    if (II->getName() != "assert") return;
+    const SourceLocation Loc = MacroNameTok.getLocation();
+    if (Loc.isInvalid() || SM.isInSystemHeader(Loc)) return;
+    Check->diag(Loc,
+                "raw assert() compiles out of release builds; use WMN_CHECK* "
+                "(core/check.hpp) so the invariant stays live in every build "
+                "type");
+  }
+
+  void Ifdef(SourceLocation Loc, const Token &MacroNameTok,
+             const MacroDefinition &) override {
+    flagNdebug(Loc, MacroNameTok);
+  }
+  void Ifndef(SourceLocation Loc, const Token &MacroNameTok,
+              const MacroDefinition &) override {
+    flagNdebug(Loc, MacroNameTok);
+  }
+  void Defined(const Token &MacroNameTok, const MacroDefinition &,
+               SourceRange Range) override {
+    flagNdebug(Range.getBegin(), MacroNameTok);
+  }
+
+ private:
+  void flagNdebug(SourceLocation Loc, const Token &MacroNameTok) {
+    const IdentifierInfo *II = MacroNameTok.getIdentifierInfo();
+    if (II == nullptr) return;
+    if (II->getName() != "NDEBUG") return;
+    if (Loc.isInvalid() || SM.isInSystemHeader(Loc)) return;
+    Check->diag(Loc,
+                "NDEBUG-conditional code forks behaviour between build types; "
+                "the determinism contract requires one behaviour everywhere "
+                "(use WMN_CHECK*, which is live in all builds)");
+  }
+
+  NoRawAssertCheck *Check;
+  const SourceManager &SM;
+};
+
+}  // namespace
+
+void NoRawAssertCheck::registerPPCallbacks(const SourceManager &SM,
+                                           Preprocessor *PP, Preprocessor *) {
+  PP->addPPCallbacks(std::make_unique<AssertPPCallbacks>(this, SM));
+}
+
+void NoRawAssertCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::abort", "::std::abort",
+                                              "::_Exit", "::std::_Exit",
+                                              "::quick_exit",
+                                              "::std::quick_exit"))))
+          .bind("terminate"),
+      this);
+}
+
+void NoRawAssertCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("terminate");
+  if (Call == nullptr) return;
+  diag(Call->getBeginLoc(),
+       "direct process termination bypasses the WMN_CHECK policy layer; "
+       "invariant failures must go through WMN_CHECK*/WMN_UNREACHABLE so "
+       "kLogAndCount sweeps survive one bad replication");
+}
+
+}  // namespace wmn_tidy

@@ -1,0 +1,25 @@
+// wmn-no-raw-assert: invariants in simulation code must go through the
+// release-safe WMN_CHECK* family (src/core/check.hpp), never through
+// raw assert()/abort() or NDEBUG-conditional code. assert() compiles
+// out of the default RelWithDebInfo build, silently shipping unchecked
+// invariants; NDEBUG guards fork behaviour between build types, which
+// the same-seed fingerprint contract cannot tolerate.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace wmn_tidy {
+
+class NoRawAssertCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  NoRawAssertCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerPPCallbacks(const clang::SourceManager &SM,
+                           clang::Preprocessor *PP,
+                           clang::Preprocessor *ModuleExpanderPP) override;
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace wmn_tidy

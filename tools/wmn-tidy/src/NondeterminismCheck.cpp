@@ -1,0 +1,93 @@
+#include "NondeterminismCheck.h"
+
+namespace wmn_tidy {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace {
+
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
+                     unorderedContainerKeyedByPointer) {
+  return qualType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+      classTemplateSpecializationDecl(
+          hasAnyName("::std::unordered_map", "::std::unordered_set",
+                     "::std::unordered_multimap", "::std::unordered_multiset"),
+          hasTemplateArgument(0, refersToType(isAnyPointer())))))));
+}
+
+}  // namespace
+
+void NondeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  // Entropy sources the seed does not own.
+  Finder->addMatcher(
+      varDecl(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                  namedDecl(hasName("::std::random_device")))))))
+          .bind("random-device"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::std::rand", "::srand", "::std::srand",
+                   "::time", "::std::time", "::getenv", "::std::getenv"))))
+          .bind("libc-entropy"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasName("now"),
+                   hasDeclContext(recordDecl(hasAnyName(
+                       "::std::chrono::system_clock",
+                       "::std::chrono::steady_clock",
+                       "::std::chrono::high_resolution_clock"))))))
+          .bind("wall-clock"),
+      this);
+  // Pointer-derived ordering/hashing: bit patterns of addresses depend
+  // on the allocator and ASLR, so any order they induce is not a
+  // function of (config, seed).
+  Finder->addMatcher(
+      valueDecl(hasType(unorderedContainerKeyedByPointer())).bind("ptr-key"),
+      this);
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("<", ">", "<=", ">="),
+                     hasLHS(expr(hasType(isAnyPointer()))),
+                     hasRHS(expr(hasType(isAnyPointer()))))
+          .bind("ptr-order"),
+      this);
+}
+
+void NondeterminismCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *D = Result.Nodes.getNodeAs<VarDecl>("random-device")) {
+    diag(D->getBeginLoc(),
+         "std::random_device draws hardware entropy; all randomness must "
+         "come from the seeded sim::RngStream");
+    return;
+  }
+  if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("libc-entropy")) {
+    diag(C->getBeginLoc(),
+         "%0 injects host state into simulation results; derive everything "
+         "from (config, seed) instead")
+        << (C->getDirectCallee() != nullptr
+                ? C->getDirectCallee()->getNameAsString()
+                : std::string("this call"));
+    return;
+  }
+  if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("wall-clock")) {
+    diag(C->getBeginLoc(),
+         "wall-clock reads are invisible to the seed; use sim::Simulator "
+         "time, or NOLINT with a justification if this measures host "
+         "performance only");
+    return;
+  }
+  if (const auto *D = Result.Nodes.getNodeAs<ValueDecl>("ptr-key")) {
+    diag(D->getBeginLoc(),
+         "unordered container keyed by pointer values: iteration order "
+         "would follow the allocator, not the seed; key by a stable id");
+    return;
+  }
+  if (const auto *B = Result.Nodes.getNodeAs<BinaryOperator>("ptr-order")) {
+    diag(B->getOperatorLoc(),
+         "ordering raw pointers compares allocator-assigned addresses; "
+         "order by a stable id (or NOLINT a same-array scan)");
+  }
+}
+
+}  // namespace wmn_tidy

@@ -1,0 +1,91 @@
+#include "UnorderedIterationCheck.h"
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace wmn_tidy {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace {
+
+// Default sink-name pattern: anything that schedules events or moves
+// packets. Deliberately loose — a miss only downgrades the diagnostic
+// text, never suppresses the finding.
+constexpr char kDefaultSinks[] =
+    "^(schedule|send|transmit|enqueue|broadcast|deliver|emit|notify|fire)";
+
+AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
+                     unorderedContainer) {
+  return qualType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+      classTemplateSpecializationDecl(hasAnyName(
+          "::std::unordered_map", "::std::unordered_set",
+          "::std::unordered_multimap", "::std::unordered_multiset"))))));
+}
+
+}  // namespace
+
+UnorderedIterationCheck::UnorderedIterationCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SinkFunctions(Options.get("SinkFunctions", kDefaultSinks)),
+      SinkRegex(SinkFunctions) {}
+
+void UnorderedIterationCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SinkFunctions", SinkFunctions);
+}
+
+void UnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxForRangeStmt(hasRangeInit(expr(hasType(unorderedContainer()))))
+          .bind("loop"),
+      this);
+  Finder->addMatcher(
+      forStmt(hasLoopInit(declStmt(containsDeclaration(
+                  0, varDecl(hasInitializer(cxxMemberCallExpr(
+                         callee(cxxMethodDecl(hasName("begin"))),
+                         on(expr(hasType(unorderedContainer()))))))))))
+          .bind("loop"),
+      this);
+}
+
+void UnorderedIterationCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<Stmt>("loop");
+  if (Loop == nullptr) return;
+
+  const Stmt *Body = nullptr;
+  if (const auto *RF = dyn_cast<CXXForRangeStmt>(Loop)) Body = RF->getBody();
+  if (const auto *F = dyn_cast<ForStmt>(Loop)) Body = F->getBody();
+
+  bool CallsSink = false;
+  if (Body != nullptr) {
+    for (const auto &Bound :
+         match(findAll(callExpr().bind("call")), *Body, *Result.Context)) {
+      const auto *Call = Bound.getNodeAs<CallExpr>("call");
+      if (Call == nullptr) continue;
+      const FunctionDecl *Callee = Call->getDirectCallee();
+      if (Callee == nullptr) continue;
+      // getName() asserts on operators/constructors; skip them.
+      if (!Callee->getDeclName().isIdentifier()) continue;
+      if (SinkRegex.match(Callee->getName())) {
+        CallsSink = true;
+        break;
+      }
+    }
+  }
+
+  if (CallsSink) {
+    diag(Loop->getBeginLoc(),
+         "loop over an unordered container calls into the event/send path: "
+         "bucket order would decide event order; iterate a sorted or "
+         "insertion-ordered copy instead");
+  } else {
+    diag(Loop->getBeginLoc(),
+         "iteration order over an unordered container follows hash-bucket "
+         "layout (reserve/rehash history); sort what escapes, or NOLINT "
+         "with a written commutativity argument");
+  }
+}
+
+}  // namespace wmn_tidy

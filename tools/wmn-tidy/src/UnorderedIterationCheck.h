@@ -1,0 +1,33 @@
+// wmn-unordered-iteration: flags range-for and iterator loops over
+// std::unordered_{map,set,multimap,multiset}. Bucket order depends on
+// reserve/rehash history and the standard library's hash internals, so
+// any order that escapes such a loop couples results to things the
+// seed does not control. Loops whose body calls into the scheduler,
+// channel, or packet send paths (SinkFunctions option) get the sharper
+// event-ordering diagnostic. Sites that are commutative by
+// construction carry NOLINT with a written safety argument — see
+// docs/TOOLING.md for the allowlist policy.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace wmn_tidy {
+
+class UnorderedIterationCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  UnorderedIterationCheck(llvm::StringRef Name,
+                          clang::tidy::ClangTidyContext *Context);
+
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string SinkFunctions;
+  llvm::Regex SinkRegex;
+};
+
+}  // namespace wmn_tidy

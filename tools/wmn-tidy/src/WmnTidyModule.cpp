@@ -1,0 +1,41 @@
+// wmn-module: registers the project's clang-tidy checks. Built as an
+// out-of-tree plugin and loaded with `clang-tidy --load=libwmn-tidy.so`;
+// no symbols are linked against LLVM here — everything resolves from
+// the hosting clang-tidy binary at dlopen time.
+#include "clang-tidy/ClangTidy.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "CheckSideEffectsCheck.h"
+#include "NoRawAssertCheck.h"
+#include "NondeterminismCheck.h"
+#include "UnorderedIterationCheck.h"
+
+namespace wmn_tidy {
+
+class WmnTidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<NoRawAssertCheck>("wmn-no-raw-assert");
+    CheckFactories.registerCheck<NondeterminismCheck>("wmn-nondeterminism");
+    CheckFactories.registerCheck<UnorderedIterationCheck>(
+        "wmn-unordered-iteration");
+    CheckFactories.registerCheck<CheckSideEffectsCheck>(
+        "wmn-check-side-effects");
+  }
+};
+
+}  // namespace wmn_tidy
+
+namespace clang::tidy {
+
+// Anchor the registry entry; the variable itself is otherwise unused.
+static ClangTidyModuleRegistry::Add<::wmn_tidy::WmnTidyModule>
+    X("wmn-module", "WMN determinism and invariant-policy checks.");
+
+// Pulled in by the plugin loader to keep the module from being
+// dead-stripped.
+volatile int WmnTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

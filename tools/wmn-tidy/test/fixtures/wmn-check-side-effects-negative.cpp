@@ -1,0 +1,30 @@
+// Fixture: side-effect-free conditions — including plain function
+// calls, which HasSideEffects(IncludePossibleEffects=false) permits —
+// must NOT be flagged.
+void wmn_check_fail(const char* expr, const char* msg);
+bool is_valid(int value);
+
+#define WMN_CHECK(cond, msg)       \
+  do {                             \
+    if (!(cond)) {                 \
+      wmn_check_fail(#cond, msg);  \
+    }                              \
+  } while (false)
+
+#define WMN_CHECK_OP_(a, op, b, msg)                 \
+  do {                                               \
+    const auto& wmn_chk_a_ = (a);                    \
+    const auto& wmn_chk_b_ = (b);                    \
+    if (!(wmn_chk_a_ op wmn_chk_b_)) {               \
+      wmn_check_fail(#a " " #op " " #b, msg);        \
+    }                                                \
+  } while (false)
+
+#define WMN_CHECK_EQ(a, b, msg) WMN_CHECK_OP_(a, ==, b, msg)
+
+int audit(int x, int y) {
+  WMN_CHECK(x >= 0, "negative input");
+  WMN_CHECK(is_valid(x), "invalid state");
+  WMN_CHECK_EQ(x + y, y + x, "addition commutes");
+  return x;
+}

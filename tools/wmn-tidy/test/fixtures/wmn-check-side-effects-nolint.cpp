@@ -1,0 +1,16 @@
+// Fixture: a NOLINT'd mutating condition must be suppressed.
+void wmn_check_fail(const char* expr, const char* msg);
+
+#define WMN_CHECK(cond, msg)       \
+  do {                             \
+    if (!(cond)) {                 \
+      wmn_check_fail(#cond, msg);  \
+    }                              \
+  } while (false)
+
+int drain(int* cursor) {
+  // Deliberate: advancing the cursor IS the checked operation here.
+  // NOLINTNEXTLINE(wmn-check-side-effects)
+  WMN_CHECK(++(*cursor) > 0, "cursor wrapped");
+  return *cursor;
+}

@@ -1,0 +1,29 @@
+// Fixture: mutation inside a WMN_CHECK* condition must be flagged.
+// Local replica of core/check.hpp's macro shape (fixtures are
+// self-contained; the real header is not on the include path here).
+void wmn_check_fail(const char* expr, const char* msg);
+
+#define WMN_CHECK(cond, msg)       \
+  do {                             \
+    if (!(cond)) {                 \
+      wmn_check_fail(#cond, msg);  \
+    }                              \
+  } while (false)
+
+#define WMN_CHECK_OP_(a, op, b, msg)                 \
+  do {                                               \
+    const auto& wmn_chk_a_ = (a);                    \
+    const auto& wmn_chk_b_ = (b);                    \
+    if (!(wmn_chk_a_ op wmn_chk_b_)) {               \
+      wmn_check_fail(#a " " #op " " #b, msg);        \
+    }                                                \
+  } while (false)
+
+#define WMN_CHECK_EQ(a, b, msg) WMN_CHECK_OP_(a, ==, b, msg)
+
+int consume(int* cursor, int limit) {
+  WMN_CHECK(++(*cursor) < limit, "cursor overran");  // EXPECT: wmn-check-side-effects
+  int budget = limit;
+  WMN_CHECK_EQ(budget -= 1, *cursor, "budget drift");  // EXPECT: wmn-check-side-effects
+  return budget;
+}

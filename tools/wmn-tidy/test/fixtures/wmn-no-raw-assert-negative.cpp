@@ -1,0 +1,17 @@
+// Fixture: the sanctioned shapes — WMN_CHECK-style macros and
+// static_assert — must NOT be flagged.
+void wmn_check_fail(const char* expr, const char* msg);
+
+#define WMN_CHECK(cond, msg)       \
+  do {                             \
+    if (!(cond)) {                 \
+      wmn_check_fail(#cond, msg);  \
+    }                              \
+  } while (false)
+
+static_assert(sizeof(int) >= 4, "platform contract");
+
+int clamp(int x) {
+  WMN_CHECK(x >= 0, "negative input");
+  return x;
+}

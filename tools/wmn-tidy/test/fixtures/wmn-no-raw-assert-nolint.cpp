@@ -1,0 +1,12 @@
+// Fixture: NOLINT-annotated termination sites must be suppressed.
+// This mirrors the one sanctioned raw abort() in core/check.hpp.
+#include <cassert>
+#include <cstdlib>
+
+[[noreturn]] void sanctioned_failure_exit() {
+  std::abort();  // NOLINT(wmn-no-raw-assert)
+}
+
+void debug_probe(int x) {
+  assert(x >= 0);  // NOLINT(wmn-no-raw-assert)
+}

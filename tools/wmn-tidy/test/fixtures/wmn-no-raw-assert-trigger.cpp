@@ -1,0 +1,14 @@
+// Fixture: every raw termination path and NDEBUG fork must be flagged.
+#include <cassert>
+#include <cstdlib>
+
+int guard(int x) {
+  assert(x > 0);  // EXPECT: wmn-no-raw-assert
+  if (x > 100) {
+    std::abort();  // EXPECT: wmn-no-raw-assert
+  }
+#ifdef NDEBUG  // EXPECT: wmn-no-raw-assert
+  x += 1;
+#endif
+  return x;
+}

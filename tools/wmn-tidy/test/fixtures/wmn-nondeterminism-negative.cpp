@@ -1,0 +1,18 @@
+// Fixture: seeded randomness and stable-id keying must NOT be flagged.
+#include <cstdint>
+#include <unordered_map>
+
+// The sanctioned randomness shape: all state derives from the seed.
+struct RngStream {
+  std::uint64_t state;
+  explicit RngStream(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+};
+
+// Keyed by a stable id, not a pointer: layout-independent semantics.
+std::unordered_map<std::uint32_t, int> by_stable_id;
+
+std::uint64_t draw(RngStream& rng) { return rng.next(); }

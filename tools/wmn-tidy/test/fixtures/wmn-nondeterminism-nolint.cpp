@@ -1,0 +1,16 @@
+// Fixture: the sanctioned wall-clock-for-host-perf shape (the policy
+// exp::Scenario::run uses) must be suppressible.
+#include <chrono>
+#include <cstdlib>
+
+double wall_seconds_and_env() {
+  // Host-performance timing only; never feeds simulation state.
+  // NOLINTNEXTLINE(wmn-nondeterminism)
+  auto t0 = std::chrono::steady_clock::now();
+  // Sweep-harness knob, read before any replication starts.
+  // NOLINTNEXTLINE(wmn-nondeterminism)
+  const char* reps = getenv("WMN_REPS");
+  (void)reps;
+  auto t1 = std::chrono::steady_clock::now();  // NOLINT(wmn-nondeterminism)
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,20 @@
+// Fixture: every host-entropy source must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+unsigned host_entropy() {
+  std::random_device rd;  // EXPECT: wmn-nondeterminism
+  unsigned r = static_cast<unsigned>(rand());  // EXPECT: wmn-nondeterminism
+  r += static_cast<unsigned>(time(nullptr));  // EXPECT: wmn-nondeterminism
+  if (getenv("WMN_HOME") != nullptr) {  // EXPECT: wmn-nondeterminism
+    r += 1;
+  }
+  auto t0 = std::chrono::steady_clock::now();  // EXPECT: wmn-nondeterminism
+  (void)t0;
+  return r + rd();
+}
+
+std::unordered_map<int*, int> by_address;  // EXPECT: wmn-nondeterminism

@@ -1,0 +1,30 @@
+// Fixture: ordered-container loops and the sorted-copy idiom (the fix
+// the check asks for) must NOT be flagged.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+void send_packet(int payload);
+
+struct Snapshot {
+  std::map<int, int> ordered_;
+  std::unordered_map<int, int> raw_;
+
+  // std::map iterates in key order: deterministic by construction.
+  void flush_ordered() {
+    for (const auto& [key, value] : ordered_) {
+      send_packet(value);
+    }
+  }
+
+  // The sanctioned fix: copy keys out, sort, iterate the vector.
+  std::vector<int> sorted_keys() const {
+    std::vector<int> keys;
+    keys.reserve(raw_.size());
+    std::transform(raw_.begin(), raw_.end(), std::back_inserter(keys),
+                   [](const auto& kv) { return kv.first; });
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};

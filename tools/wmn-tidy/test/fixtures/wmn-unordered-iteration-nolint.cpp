@@ -1,0 +1,17 @@
+// Fixture: a NOLINT with a written commutativity argument (the
+// allowlist policy from docs/TOOLING.md) must be suppressed.
+#include <unordered_map>
+
+struct LoadTable {
+  std::unordered_map<int, long> load_;
+
+  long total() const {
+    long sum = 0;
+    // Commutative integer sum; no order escapes this loop.
+    // NOLINTNEXTLINE(wmn-unordered-iteration)
+    for (const auto& [id, load] : load_) {
+      sum += load;
+    }
+    return sum;
+  }
+};

@@ -1,0 +1,27 @@
+// Fixture: loops over unordered containers must be flagged — both the
+// range-for and explicit-iterator shapes, with and without a call into
+// the send path inside the body.
+#include <unordered_map>
+#include <unordered_set>
+
+void send_packet(int payload);
+
+struct RouteTable {
+  std::unordered_map<int, int> routes_;
+  std::unordered_set<int> pending_;
+
+  void flush() {
+    // Bucket order decides packet order here — the live hazard class.
+    for (const auto& [dest, hop] : routes_) {  // EXPECT: wmn-unordered-iteration
+      send_packet(hop);
+    }
+  }
+
+  int total() const {
+    int sum = 0;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {  // EXPECT: wmn-unordered-iteration
+      sum += *it;
+    }
+    return sum;
+  }
+};
