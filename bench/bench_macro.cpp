@@ -84,6 +84,34 @@ void BM_Scale400Nodes6pps(benchmark::State& state) {
 }
 BENCHMARK(BM_Scale400Nodes6pps)->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// F11 smoke point: the gateway-aggregation session workload at the
+// reference scale — tracks the cost of the session/heavy-tail source
+// machinery (per-arrival scheduling, per-session pacing timers) on top
+// of the scheduler hot path. Not in bench/baseline.json, so the perf
+// gate reports it without gating on it until a baseline is pinned.
+void BM_F11GatewaySessions(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg = reference_config(core::Protocol::kClnlr);
+    cfg.traffic.pattern = exp::TrafficSpec::Pattern::kGateway;
+    cfg.traffic.n_gateways = 3;
+    cfg.traffic.n_flows = 12;
+    cfg.traffic.model = exp::TrafficSpec::Model::kSessions;
+    cfg.traffic.users_per_node = 1000;
+    cfg.traffic.session_rate_per_user_per_s = 0.004;
+    cfg.traffic.mean_arrival_gap_s = 1.0;
+    cfg.traffic_time = sim::Time::seconds(15.0);
+    exp::Scenario s(cfg);
+    s.run();
+    events += s.simulator().events_executed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_events"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_F11GatewaySessions)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -15,6 +15,10 @@
 //   --protocol NAME    bf|gossip|cb|vap|clnlr|clnlr-rd|clnlr-rs
 //   --speed S          RWP max speed m/s, 0=static  (default 0)
 //   --gateways K       gateway traffic to K gateways (default: random pairs)
+//   --traffic NAME     cbr|onoff|heavytail|sessions (default cbr)
+//   --users N          users aggregated per source  (sessions; default 1000)
+//   --session-rate R   session arrivals per user/s  (sessions; default 0.002)
+//   --arrival-gap T    mean flow-arrival gap in s, 0=all flows at start
 //   --seconds T        traffic time                 (default 30)
 //   --seed X           master seed                  (default 1)
 //   --rts B            RTS threshold bytes          (default off)
@@ -47,6 +51,16 @@ wmn::core::Protocol parse_protocol(const std::string& name) {
   if (name == "clnlr-rs") return Protocol::kClnlrRsOnly;
   std::cerr << "unknown protocol '" << name << "', using clnlr\n";
   return Protocol::kClnlr;
+}
+
+wmn::exp::TrafficSpec::Model parse_traffic_model(const std::string& name) {
+  using Model = wmn::exp::TrafficSpec::Model;
+  if (name == "cbr") return Model::kCbr;
+  if (name == "onoff") return Model::kPoissonOnOff;
+  if (name == "heavytail") return Model::kHeavyTailOnOff;
+  if (name == "sessions") return Model::kSessions;
+  std::cerr << "unknown traffic model '" << name << "', using cbr\n";
+  return Model::kCbr;
 }
 
 }  // namespace
@@ -84,6 +98,14 @@ int main(int argc, char** argv) {
     } else if (a == "--gateways") {
       cfg.traffic.pattern = exp::TrafficSpec::Pattern::kGateway;
       cfg.traffic.n_gateways = static_cast<std::size_t>(next(1));
+    } else if (a == "--traffic" && i + 1 < argc) {
+      cfg.traffic.model = parse_traffic_model(argv[++i]);
+    } else if (a == "--users") {
+      cfg.traffic.users_per_node = static_cast<std::uint32_t>(next(1000));
+    } else if (a == "--session-rate") {
+      cfg.traffic.session_rate_per_user_per_s = next(0.002);
+    } else if (a == "--arrival-gap") {
+      cfg.traffic.mean_arrival_gap_s = next(0);
     } else if (a == "--seconds") {
       cfg.traffic_time = sim::Time::seconds(next(30));
     } else if (a == "--seed") {
@@ -158,6 +180,18 @@ int main(int argc, char** argv) {
   t.add_row({"fairness (Jain, active)", stats::Table::num(m.forwarding_jain, 3)});
   t.add_row({"energy (J)", stats::Table::num(m.total_energy_j, 0)});
   t.add_row({"energy (mJ/kbit)", stats::Table::num(m.energy_mj_per_kbit, 1)});
+  if (m.gateway_count > 0) {
+    t.add_row({"gateways", std::to_string(m.gateway_count)});
+    t.add_row({"gateway Jain", stats::Table::num(m.gateway_jain, 3)});
+    t.add_row({"gateway load variance",
+               stats::Table::num(m.gateway_load_variance, 1)});
+  }
+  if (m.sessions_started > 0 || m.sessions_rejected > 0) {
+    t.add_row({"sessions (completed)",
+               std::to_string(m.sessions_started) + " (" +
+                   std::to_string(m.sessions_completed) + ")"});
+    t.add_row({"sessions rejected", std::to_string(m.sessions_rejected)});
+  }
   if (m.fault_enabled) {
     t.add_row({"crashes / rejoins", std::to_string(m.fault_crashes) + " / " +
                                         std::to_string(m.fault_rejoins)});

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace wmn::core {
+
+ClnlrRebroadcastPolicy::ClnlrRebroadcastPolicy(const ClnlrPolicyParams& params)
+    : params_(params) {
+  WMN_CHECK_GT(params_.degree_ref, 0.0,
+               "CLNLR degree_ref divides the density term");
+  WMN_CHECK_GT(params_.density_gate, 0.0,
+               "CLNLR density_gate divides the gate ramp");
+  WMN_CHECK_GE(params_.p_min, 0.0, "CLNLR p_min must be non-negative");
+  WMN_CHECK_LE(params_.p_min, params_.p_max,
+               "CLNLR p_min must not exceed p_max");
+  WMN_CHECK_LE(params_.p_max, 1.0, "CLNLR p_max is a probability");
+  // Under kLogAndCount execution continues past a tripped check: clamp
+  // the divisors so forward_probability stays finite regardless.
+  params_.degree_ref = std::max(params_.degree_ref, 1e-6);
+  params_.density_gate = std::max(params_.density_gate, 1e-6);
+}
 
 double ClnlrRebroadcastPolicy::forward_probability(
     const routing::RebroadcastContext& ctx) const {

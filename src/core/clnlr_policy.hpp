@@ -51,8 +51,12 @@ struct ClnlrPolicyParams {
 
 class ClnlrRebroadcastPolicy final : public routing::RebroadcastPolicy {
  public:
-  explicit ClnlrRebroadcastPolicy(const ClnlrPolicyParams& params = {})
-      : params_(params) {}
+  // Validates params at construction: degree_ref and density_gate are
+  // divisors in the probability formula, so zero (representable in any
+  // config file) would feed NaN/inf to rng.bernoulli(). Violations trip
+  // WMN_CHECK; under kLogAndCount the offending divisor is additionally
+  // clamped to a safe floor so the run stays finite.
+  explicit ClnlrRebroadcastPolicy(const ClnlrPolicyParams& params = {});
 
   routing::RebroadcastDecision decide(const routing::RebroadcastContext& ctx,
                                       sim::RngStream& rng) override;

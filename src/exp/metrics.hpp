@@ -50,6 +50,24 @@ struct RunMetrics {
   double forwarding_jain = 1.0;
   double forwarding_peak_to_mean = 1.0;
 
+  // --- gateway-aggregation workload (populated for kGateway traffic) ----
+  // Per-gateway delivered packets, in gateway discovery order; fairness
+  // over them is the F11 headline: AODV-BF collapsing at one hotspot
+  // shows up as gateway_jain falling toward 1/K while the variance
+  // explodes.
+  std::uint64_t gateway_count = 0;
+  std::vector<double> per_gateway_delivered;
+  double gateway_jain = 1.0;
+  double gateway_load_variance = 0.0;
+
+  // --- session workload (populated for TrafficSpec::Model::kSessions) ---
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  // Arrivals refused by the per-node concurrency cap; nonzero means the
+  // offered-load knob exceeded what the cap admits — report it, never
+  // silently truncate the workload.
+  std::uint64_t sessions_rejected = 0;
+
   // --- energy ------------------------------------------------------------
   double total_energy_j = 0.0;        // network-wide radio energy
   double mean_node_energy_j = 0.0;
@@ -127,6 +145,24 @@ struct RunMetrics {
   fp.mix(m.avg_path_hops);
   fp.mix(static_cast<std::uint64_t>(m.per_node_forwarded.size()));
   for (const double f : m.per_node_forwarded) fp.mix(f);
+  // Workload-family metrics join the digest only when their traffic
+  // pattern produced them, mirroring the fault-block convention below:
+  // runs without gateways / sessions keep the digest they had before
+  // the F11 workload family existed.
+  if (m.gateway_count > 0) {
+    fp.mix(std::uint64_t{2});
+    fp.mix(m.gateway_count);
+    fp.mix(static_cast<std::uint64_t>(m.per_gateway_delivered.size()));
+    for (const double g : m.per_gateway_delivered) fp.mix(g);
+    fp.mix(m.gateway_jain);
+    fp.mix(m.gateway_load_variance);
+  }
+  if (m.sessions_started > 0 || m.sessions_rejected > 0) {
+    fp.mix(std::uint64_t{3});
+    fp.mix(m.sessions_started);
+    fp.mix(m.sessions_completed);
+    fp.mix(m.sessions_rejected);
+  }
   // Resilience metrics join the digest only for fault-enabled runs:
   // with an empty FaultPlan the digest must stay bit-identical to what
   // the seed produced before the fault layer existed.

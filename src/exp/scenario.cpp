@@ -15,6 +15,7 @@ namespace {
 constexpr std::uint64_t kPlacementSalt = 0x97AC'0000'0000'0000ULL;
 constexpr std::uint64_t kFlowSalt = 0xF107'0000'0000'0000ULL;
 constexpr std::uint64_t kMobilitySalt = 0x0B11'0000'0000'0000ULL;
+constexpr std::uint64_t kArrivalSalt = 0xA881'7A10'0000'0000ULL;
 }  // namespace
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
@@ -156,30 +157,85 @@ void Scenario::build_traffic() {
     }
   }
 
-  const sim::Time start = cfg_.warmup;
   const sim::Time stop = cfg_.warmup + cfg_.traffic_time;
+
+  // Seeded flow-arrival process: flows join over time instead of all
+  // at once. A dedicated salted stream keeps the offsets independent of
+  // the pair draws above (state-independent draw sequences).
+  std::vector<sim::Time> starts(flow_pairs_.size(), cfg_.warmup);
+  if (cfg_.traffic.mean_arrival_gap_s > 0.0) {
+    sim::RngStream arrival_rng = sim_.make_stream(kArrivalSalt);
+    const auto offsets = traffic::arrival_offsets(
+        flow_pairs_.size(),
+        sim::Time::seconds(cfg_.traffic.mean_arrival_gap_s),
+        cfg_.traffic_time, arrival_rng);
+    for (std::size_t i = 0; i < starts.size(); ++i) starts[i] += offsets[i];
+  }
+
   std::uint32_t flow_id = 0;
-  for (const auto& [src, dst] : flow_pairs_) {
-    if (cfg_.traffic.poisson_onoff) {
-      traffic::PoissonOnOffConfig fc;
-      fc.flow_id = flow_id++;
-      fc.dest = net::Address(dst);
-      fc.packet_bytes = cfg_.traffic.packet_bytes;
-      fc.rate_pps = cfg_.traffic.rate_pps;
-      fc.start = start;
-      fc.stop = stop;
-      onoff_sources_.push_back(std::make_unique<traffic::PoissonOnOffSource>(
-          sim_, fc, *nodes_[src].agent, factory_, registry_));
-    } else {
-      traffic::CbrConfig fc;
-      fc.flow_id = flow_id++;
-      fc.dest = net::Address(dst);
-      fc.packet_bytes = cfg_.traffic.packet_bytes;
-      fc.rate_pps = cfg_.traffic.rate_pps;
-      fc.start = start;
-      fc.stop = stop;
-      cbr_sources_.push_back(std::make_unique<traffic::CbrSource>(
-          sim_, fc, *nodes_[src].agent, factory_, registry_));
+  for (std::size_t i = 0; i < flow_pairs_.size(); ++i) {
+    const auto [src, dst] = flow_pairs_[i];
+    const sim::Time start = starts[i];
+    switch (cfg_.traffic.model) {
+      case TrafficSpec::Model::kPoissonOnOff: {
+        traffic::PoissonOnOffConfig fc;
+        fc.flow_id = flow_id++;
+        fc.dest = net::Address(dst);
+        fc.packet_bytes = cfg_.traffic.packet_bytes;
+        fc.rate_pps = cfg_.traffic.rate_pps;
+        fc.mean_on = sim::Time::seconds(cfg_.traffic.mean_on_s);
+        fc.mean_off = sim::Time::seconds(cfg_.traffic.mean_off_s);
+        fc.start = start;
+        fc.stop = stop;
+        onoff_sources_.push_back(std::make_unique<traffic::PoissonOnOffSource>(
+            sim_, fc, *nodes_[src].agent, factory_, registry_));
+        break;
+      }
+      case TrafficSpec::Model::kHeavyTailOnOff: {
+        traffic::HeavyTailOnOffConfig fc;
+        fc.flow_id = flow_id++;
+        fc.dest = net::Address(dst);
+        fc.packet_bytes = cfg_.traffic.packet_bytes;
+        fc.rate_pps = cfg_.traffic.rate_pps;
+        fc.pareto_shape = cfg_.traffic.pareto_shape;
+        fc.mean_on = sim::Time::seconds(cfg_.traffic.mean_on_s);
+        fc.mean_off = sim::Time::seconds(cfg_.traffic.mean_off_s);
+        fc.start = start;
+        fc.stop = stop;
+        heavy_sources_.push_back(std::make_unique<traffic::HeavyTailOnOffSource>(
+            sim_, fc, *nodes_[src].agent, factory_, registry_));
+        break;
+      }
+      case TrafficSpec::Model::kSessions: {
+        traffic::SessionSourceConfig fc;
+        fc.flow_id = flow_id++;
+        fc.dest = net::Address(dst);
+        fc.packet_bytes = cfg_.traffic.packet_bytes;
+        fc.users = cfg_.traffic.users_per_node;
+        fc.session_rate_per_user_per_s =
+            cfg_.traffic.session_rate_per_user_per_s;
+        fc.session_rate_pps = cfg_.traffic.session_rate_pps;
+        fc.mean_session_pkts = cfg_.traffic.mean_session_pkts;
+        fc.pareto_shape = cfg_.traffic.pareto_shape;
+        fc.max_active_sessions = cfg_.traffic.max_active_sessions;
+        fc.start = start;
+        fc.stop = stop;
+        session_sources_.push_back(std::make_unique<traffic::SessionSource>(
+            sim_, fc, *nodes_[src].agent, factory_, registry_));
+        break;
+      }
+      case TrafficSpec::Model::kCbr: {
+        traffic::CbrConfig fc;
+        fc.flow_id = flow_id++;
+        fc.dest = net::Address(dst);
+        fc.packet_bytes = cfg_.traffic.packet_bytes;
+        fc.rate_pps = cfg_.traffic.rate_pps;
+        fc.start = start;
+        fc.stop = stop;
+        cbr_sources_.push_back(std::make_unique<traffic::CbrSource>(
+            sim_, fc, *nodes_[src].agent, factory_, registry_));
+        break;
+      }
     }
   }
 }
@@ -266,6 +322,31 @@ RunMetrics Scenario::metrics() const {
   m.forwarding_active_nodes = active.size();
   m.forwarding_jain = stats::jain_index(active);
   m.forwarding_peak_to_mean = stats::peak_to_mean(active);
+
+  // Gateway-aggregation fairness (F11): delivered load per gateway, in
+  // gateway discovery order. A protocol collapsing at one hotspot shows
+  // up as Jain falling toward 1/K with the variance exploding.
+  if (!gateways_.empty()) {
+    m.gateway_count = gateways_.size();
+    m.per_gateway_delivered.assign(gateways_.size(), 0.0);
+    const auto flow_snapshot = registry_.snapshot();
+    for (std::size_t g = 0; g < gateways_.size(); ++g) {
+      const net::Address addr(gateways_[g]);
+      for (const auto& f : flow_snapshot) {
+        if (f.dst == addr) {
+          m.per_gateway_delivered[g] += static_cast<double>(f.delivered);
+        }
+      }
+    }
+    m.gateway_jain = stats::jain_index(m.per_gateway_delivered);
+    m.gateway_load_variance = stats::load_variance(m.per_gateway_delivered);
+  }
+
+  for (const auto& s : session_sources_) {
+    m.sessions_started += s->sessions_started();
+    m.sessions_completed += s->sessions_completed();
+    m.sessions_rejected += s->sessions_rejected();
+  }
 
   if (injector_) {
     m.fault_enabled = true;

@@ -17,7 +17,9 @@
 #include "phy/channel.hpp"
 #include "traffic/cbr_source.hpp"
 #include "traffic/flow_builder.hpp"
+#include "traffic/heavy_tail_source.hpp"
 #include "traffic/packet_sink.hpp"
+#include "traffic/session_source.hpp"
 
 namespace wmn::exp {
 
@@ -33,7 +35,18 @@ struct MobilitySpec {
 
 struct TrafficSpec {
   enum class Pattern { kRandomPairs, kGateway };
+  // Source model per flow:
+  //   kCbr          — constant bit rate (the paper's evaluation load);
+  //   kPoissonOnOff — exponential ON/OFF bursts of CBR;
+  //   kHeavyTailOnOff — Pareto ON periods (self-similar aggregate load);
+  //   kSessions     — per-user session aggregation: each source node
+  //                   carries `users_per_node` users whose sessions
+  //                   arrive as a seeded Poisson process and transfer
+  //                   Pareto-sized packet batches (the F11 production
+  //                   workload).
+  enum class Model { kCbr, kPoissonOnOff, kHeavyTailOnOff, kSessions };
   Pattern pattern = Pattern::kRandomPairs;
+  Model model = Model::kCbr;
   std::size_t n_flows = 10;
   double rate_pps = 4.0;
   std::uint32_t packet_bytes = 512;
@@ -41,7 +54,24 @@ struct TrafficSpec {
   // (the nodes nearest to evenly spaced anchor points); each source
   // sends to its *nearest* gateway, as real WMN backhaul does.
   std::size_t n_gateways = 1;
-  bool poisson_onoff = false;   // bursty variant
+
+  // kPoissonOnOff / kHeavyTailOnOff burst shape.
+  double mean_on_s = 2.0;
+  double mean_off_s = 2.0;
+  double pareto_shape = 1.5;  // kHeavyTailOnOff / kSessions tail index
+
+  // kSessions knobs (per source node).
+  std::uint32_t users_per_node = 1000;
+  double session_rate_per_user_per_s = 0.002;
+  double session_rate_pps = 16.0;
+  double mean_session_pkts = 20.0;
+  std::uint32_t max_active_sessions = 64;
+
+  // Seeded flow-arrival process: when > 0, flow start times are
+  // staggered by a Poisson process with this mean inter-arrival gap
+  // (clamped to the traffic window) instead of all flows starting at
+  // once — new flows join a mesh that is already carrying load.
+  double mean_arrival_gap_s = 0.0;
 };
 
 struct ScenarioConfig {
@@ -103,6 +133,11 @@ class Scenario {
   [[nodiscard]] const std::vector<std::uint32_t>& gateways() const {
     return gateways_;
   }
+  // Session sources (Model::kSessions only; empty otherwise).
+  [[nodiscard]] const std::vector<std::unique_ptr<traffic::SessionSource>>&
+  session_sources() const {
+    return session_sources_;
+  }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] phy::WirelessChannel& channel() { return *channel_; }
   // Null when the config's FaultPlan is empty.
@@ -137,6 +172,8 @@ class Scenario {
   std::vector<std::uint32_t> gateways_;
   std::vector<std::unique_ptr<traffic::CbrSource>> cbr_sources_;
   std::vector<std::unique_ptr<traffic::PoissonOnOffSource>> onoff_sources_;
+  std::vector<std::unique_ptr<traffic::HeavyTailOnOffSource>> heavy_sources_;
+  std::vector<std::unique_ptr<traffic::SessionSource>> session_sources_;
   bool ran_ = false;
   double wall_seconds_ = 0.0;
   // Snapshot of the global invariant-violation counter at run() start;

@@ -2,13 +2,25 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace wmn::stats {
+
+namespace {
+// Negative load is a caller bug (loads are counts or rates); flag it
+// and clamp so the indices keep their documented ranges.
+double sanitize(double x) {
+  WMN_CHECK_GE(x, 0.0, "fairness inputs must be non-negative");
+  return std::max(x, 0.0);
+}
+}  // namespace
 
 double jain_index(std::span<const double> xs) {
   if (xs.empty()) return 1.0;
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (double x : xs) {
+  for (double raw : xs) {
+    const double x = sanitize(raw);
     sum += x;
     sum_sq += x * x;
   }
@@ -20,13 +32,27 @@ double peak_to_mean(std::span<const double> xs) {
   if (xs.empty()) return 1.0;
   double sum = 0.0;
   double peak = 0.0;
-  for (double x : xs) {
+  for (double raw : xs) {
+    const double x = sanitize(raw);
     sum += x;
     peak = std::max(peak, x);
   }
   if (sum <= 0.0) return 1.0;
   const double mean = sum / static_cast<double>(xs.size());
   return peak / mean;
+}
+
+double load_variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (double raw : xs) sum += sanitize(raw);
+  const double mean = sum / static_cast<double>(xs.size());
+  double acc = 0.0;
+  for (double raw : xs) {
+    const double d = std::max(raw, 0.0) - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
 }
 
 }  // namespace wmn::stats

@@ -1,4 +1,9 @@
-// Load-distribution fairness measures for the F8 experiment.
+// Load-distribution fairness measures for the F8/F11 experiments.
+//
+// Inputs are load shares (forwarded frames, delivered packets, ...) and
+// must be non-negative; a negative element trips a WMN_CHECK and is
+// treated as zero so the indices stay within their documented ranges
+// under CheckPolicy::kLogAndCount.
 #pragma once
 
 #include <span>
@@ -13,5 +18,10 @@ namespace wmn::stats {
 // Peak-to-mean ratio: how much hotter the hottest node runs than the
 // average (>= 1; 1 = perfectly even). All-zero input returns 1.
 [[nodiscard]] double peak_to_mean(std::span<const double> xs);
+
+// Population variance of the loads (0 for empty or single-element
+// input). F11 reports this over per-gateway delivered load: hotspot
+// collapse shows up as variance exploding while Jain falls.
+[[nodiscard]] double load_variance(std::span<const double> xs);
 
 }  // namespace wmn::stats

@@ -4,6 +4,18 @@
 // and stop times (the evaluation workload: 512-byte UDP-style CBR).
 // PoissonOnOffSource alternates exponential ON/OFF periods, emitting
 // CBR during ON — the bursty variant used in the congestion benches.
+//
+// Timing contract (shared by every source in traffic::): packet k of a
+// pacing run is scheduled at the *absolute* time base + k/rate, not by
+// repeatedly adding a rounded per-tick interval. Rounding 1/rate to
+// integer nanoseconds once per tick compounds (3 pps drifts 1/3 ns per
+// packet, and any non-dyadic rate drifts), which shifts packets across
+// the stop boundary and silently distorts offered-load sweeps; the
+// absolute form keeps the error of tick k below one rounding ulp
+// independent of k. Sources also never schedule an event at or past
+// `stop`: the pacing timer is cleared the moment the next tick would
+// cross the horizon, so no dead wakeups churn the calendar after the
+// traffic window closes.
 #pragma once
 
 #include <cstdint>
@@ -37,9 +49,14 @@ class CbrSource {
 
   [[nodiscard]] std::uint64_t packets_sent() const { return seq_; }
   [[nodiscard]] std::uint32_t flow_id() const { return cfg_.flow_id; }
+  // True while a pacing event is scheduled; false once the source has
+  // crossed `stop` (no stale EventId is ever left behind).
+  [[nodiscard]] bool timer_armed() const { return timer_.valid(); }
 
  private:
   void emit();
+  // Absolute send time of packet k: base_ + k/rate, rounded once.
+  [[nodiscard]] sim::Time tick_time(std::uint64_t k) const;
 
   sim::Simulator& sim_;
   CbrConfig cfg_;
@@ -47,6 +64,7 @@ class CbrSource {
   net::PacketFactory& factory_;
   FlowRegistry& registry_;
   sim::RngStream rng_;
+  sim::Time base_{};  // time of packet 0 (start + random phase)
   std::uint64_t seq_ = 0;
   sim::EventId timer_{};
 };
@@ -73,11 +91,16 @@ class PoissonOnOffSource {
   PoissonOnOffSource& operator=(const PoissonOnOffSource&) = delete;
 
   [[nodiscard]] std::uint64_t packets_sent() const { return seq_; }
+  [[nodiscard]] bool timer_armed() const { return timer_.valid(); }
 
  private:
   void begin_on();
   void begin_off();
   void emit();
+  // Schedule `fn` at `at` unless that would cross the stop horizon, in
+  // which case the timer is cleared and the source goes quiet for good.
+  template <typename Fn>
+  void schedule_guarded(sim::Time at, Fn fn);
 
   sim::Simulator& sim_;
   PoissonOnOffConfig cfg_;
@@ -88,6 +111,8 @@ class PoissonOnOffSource {
   std::uint64_t seq_ = 0;
   bool on_ = false;
   sim::Time on_ends_{};
+  sim::Time burst_base_{};        // time of packet 0 of the current burst
+  std::uint64_t burst_sent_ = 0;  // packets emitted in the current burst
   sim::EventId timer_{};
 };
 

@@ -1,5 +1,6 @@
 #include "traffic/flow_builder.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "core/check.hpp"
@@ -47,6 +48,21 @@ std::vector<NodePair> gateway_pairs(std::size_t n_flows, std::uint32_t n_nodes,
     ++gw_idx;
   }
   WMN_CHECK_EQ(out.size(), n_flows, "could not build requested flow count");
+  return out;
+}
+
+std::vector<sim::Time> arrival_offsets(std::size_t n, sim::Time mean_gap,
+                                       sim::Time horizon,
+                                       sim::RngStream& rng) {
+  WMN_CHECK_GT(mean_gap.ns(), std::int64_t{0},
+               "arrival gap must be positive");
+  std::vector<sim::Time> out;
+  out.reserve(n);
+  sim::Time at = sim::Time::zero();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::min(at, horizon));
+    at += sim::Time::seconds(rng.exponential(mean_gap.to_seconds()));
+  }
   return out;
 }
 

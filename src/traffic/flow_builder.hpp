@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace wmn::traffic {
 
@@ -27,5 +28,17 @@ using NodePair = std::pair<std::uint32_t, std::uint32_t>;
 [[nodiscard]] std::vector<NodePair> gateway_pairs(
     std::size_t n_flows, std::uint32_t n_nodes,
     const std::vector<std::uint32_t>& gateways, sim::RngStream& rng);
+
+// Seeded flow-arrival process: `n` non-decreasing start offsets drawn
+// as a Poisson process with the given mean inter-arrival gap (flow 0
+// starts at offset 0 — somebody is always already talking when the
+// window opens). Offsets exceeding `horizon` are clamped to it, so a
+// short traffic window still starts every flow. The scenario adds
+// these to the traffic start time when staggered arrivals are enabled:
+// flows join the mesh over time instead of all at once.
+[[nodiscard]] std::vector<sim::Time> arrival_offsets(std::size_t n,
+                                                     sim::Time mean_gap,
+                                                     sim::Time horizon,
+                                                     sim::RngStream& rng);
 
 }  // namespace wmn::traffic

@@ -1,0 +1,75 @@
+// Heavy-tailed on/off traffic source — the production-workload burst
+// model (F11).
+//
+// ON periods are Pareto-distributed (shape alpha, finite mean requires
+// alpha > 1), OFF gaps exponential; during ON the source emits CBR at
+// `rate_pps` with the drift-free absolute-base pacing shared by every
+// traffic:: source (see cbr_source.hpp). Superposing many such sources
+// yields long-range-dependent aggregate load — the self-similar traffic
+// real gateways see, and the regime where neighbourhood-load routing
+// either pays off or doesn't.
+//
+// Determinism contract: all randomness comes from one salted RngStream
+// whose draw sequence is a pure function of the source's own history
+// (off gap, on duration, off gap, ...) — never of other components'
+// state — so same-seed fingerprints are bit-identical serial vs pooled.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/aodv.hpp"
+#include "traffic/flow_registry.hpp"
+
+namespace wmn::traffic {
+
+struct HeavyTailOnOffConfig {
+  std::uint32_t flow_id = 0;
+  net::Address dest;
+  std::uint32_t packet_bytes = 512;
+  double rate_pps = 8.0;       // emission rate while ON
+  double pareto_shape = 1.5;   // alpha; must be > 1 (finite mean)
+  sim::Time mean_on = sim::Time::seconds(2.0);   // mean Pareto burst
+  sim::Time mean_off = sim::Time::seconds(2.0);  // exponential gap
+  sim::Time start{};
+  sim::Time stop = sim::Time::max();
+};
+
+class HeavyTailOnOffSource {
+ public:
+  HeavyTailOnOffSource(sim::Simulator& simulator,
+                       const HeavyTailOnOffConfig& cfg,
+                       routing::AodvAgent& agent, net::PacketFactory& factory,
+                       FlowRegistry& registry);
+  ~HeavyTailOnOffSource();
+
+  HeavyTailOnOffSource(const HeavyTailOnOffSource&) = delete;
+  HeavyTailOnOffSource& operator=(const HeavyTailOnOffSource&) = delete;
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return seq_; }
+  [[nodiscard]] std::uint64_t bursts_started() const { return bursts_; }
+  [[nodiscard]] std::uint32_t flow_id() const { return cfg_.flow_id; }
+  [[nodiscard]] bool timer_armed() const { return timer_.valid(); }
+
+ private:
+  void begin_on();
+  void begin_off();
+  void emit();
+  template <typename Fn>
+  void schedule_guarded(sim::Time at, Fn fn);
+
+  sim::Simulator& sim_;
+  HeavyTailOnOffConfig cfg_;
+  routing::AodvAgent& agent_;
+  net::PacketFactory& factory_;
+  FlowRegistry& registry_;
+  sim::RngStream rng_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t bursts_ = 0;
+  bool on_ = false;
+  sim::Time on_ends_{};
+  sim::Time burst_base_{};
+  std::uint64_t burst_sent_ = 0;
+  sim::EventId timer_{};
+};
+
+}  // namespace wmn::traffic

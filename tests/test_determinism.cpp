@@ -164,6 +164,42 @@ TEST(Determinism, PoolVsSerialFingerprintsWithChurnAndGracefulRerr) {
   EXPECT_GT(rerrs, 0u) << "scenario never exercised the RERR fan-out";
 }
 
+// The F11 production workload — gateway pattern, per-user session
+// aggregation, heavy-tailed bursts, staggered flow arrivals — runs
+// every new RNG consumer at once. Each source's draw sequence is a pure
+// function of its own history, so pooled replications must reproduce
+// the serial fingerprints bit for bit, including the gateway and
+// session metric blocks (asserted populated, so the gated digest
+// fields are actually exercised).
+TEST(Determinism, PoolVsSerialFingerprintsProductionWorkload) {
+  for (const auto model : {exp::TrafficSpec::Model::kSessions,
+                           exp::TrafficSpec::Model::kHeavyTailOnOff}) {
+    exp::ScenarioConfig cfg = mid_size_config(42, core::Protocol::kClnlr);
+    cfg.n_nodes = 25;
+    cfg.traffic.pattern = exp::TrafficSpec::Pattern::kGateway;
+    cfg.traffic.n_gateways = 2;
+    cfg.traffic.n_flows = 5;
+    cfg.traffic.model = model;
+    cfg.traffic.mean_arrival_gap_s = 1.0;  // flows join over time
+    cfg.traffic.users_per_node = 500;
+    cfg.traffic.session_rate_per_user_per_s = 0.004;
+    cfg.traffic.mean_session_pkts = 8.0;
+    cfg.traffic_time = sim::Time::seconds(8.0);
+    const auto serial = exp::run_replications(cfg, 3, 1);
+    const auto pooled = exp::run_replications(cfg, 3, 4);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].gateway_count, 2u);
+      EXPECT_EQ(serial[i].per_gateway_delivered.size(), 2u);
+      if (model == exp::TrafficSpec::Model::kSessions) {
+        EXPECT_GT(serial[i].sessions_started, 0u);
+      }
+      EXPECT_EQ(exp::fingerprint(serial[i]), exp::fingerprint(pooled[i]))
+          << "model " << static_cast<int>(model) << " rep " << i;
+    }
+  }
+}
+
 TEST(Determinism, FingerprintOrderSensitive) {
   sim::Fingerprint a;
   a.mix(std::uint64_t{1});

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/check.hpp"
 #include "core/clnlr_policy.hpp"
 #include "routing/rebroadcast_policy.hpp"
 
@@ -185,6 +188,40 @@ TEST(ClnlrPolicy, LosingCoinFlipDefersNotDrops) {
     EXPECT_EQ(d.action, RebroadcastAction::kDefer);
     EXPECT_GT(d.delay, sim::Time::zero());
   }
+}
+
+TEST(ClnlrPolicy, ZeroDivisorParamsGuardedAndClamped) {
+  // degree_ref and density_gate divide the density term: zero must trip
+  // the construction-time check, and under kLogAndCount (the bench
+  // policy, where execution continues) the divisors are clamped so the
+  // probability stays finite instead of going NaN.
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  core::reset_check_violations();
+  ClnlrPolicyParams params;
+  params.degree_ref = 0.0;
+  params.density_gate = 0.0;
+  ClnlrRebroadcastPolicy p(params);
+  EXPECT_EQ(core::check_violations(), 2u);
+  for (double load : {0.0, 0.5, 1.0}) {
+    const double prob = p.forward_probability(ctx(5, 20, load));
+    EXPECT_TRUE(std::isfinite(prob));
+    EXPECT_GE(prob, params.p_min);
+    EXPECT_LE(prob, params.p_max);
+  }
+  core::reset_check_violations();
+  core::set_check_policy(core::CheckPolicy::kAbort);
+}
+
+TEST(ClnlrPolicy, InvertedProbabilityBoundsGuarded) {
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  core::reset_check_violations();
+  ClnlrPolicyParams params;
+  params.p_min = 0.9;
+  params.p_max = 0.5;  // p_min > p_max trips the ordering check
+  ClnlrRebroadcastPolicy p(params);
+  EXPECT_EQ(core::check_violations(), 1u);
+  core::reset_check_violations();
+  core::set_check_policy(core::CheckPolicy::kAbort);
 }
 
 TEST(ClnlrPolicy, RescueForwardsOnlyWhenNoDuplicates) {

@@ -119,7 +119,7 @@ TEST(Scenario, ShadowingIsSeedDeterministic) {
 
 TEST(Scenario, PoissonOnOffTrafficRuns) {
   ScenarioConfig cfg = small_config();
-  cfg.traffic.poisson_onoff = true;
+  cfg.traffic.model = TrafficSpec::Model::kPoissonOnOff;
   Scenario s(cfg);
   s.run();
   const RunMetrics m = s.metrics();

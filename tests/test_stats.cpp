@@ -1,8 +1,10 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 
+#include "core/check.hpp"
 #include "stats/confidence.hpp"
 #include "stats/fairness.hpp"
 #include "stats/histogram.hpp"
@@ -113,6 +115,42 @@ TEST(Fairness, PeakToMean) {
   EXPECT_DOUBLE_EQ(peak_to_mean(xs), 2.0);
   const double even[] = {3.0, 3.0};
   EXPECT_DOUBLE_EQ(peak_to_mean(even), 1.0);
+}
+
+TEST(Fairness, SingleElementIsPerfectlyFair) {
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(jain_index(one), 1.0);
+  EXPECT_DOUBLE_EQ(peak_to_mean(one), 1.0);
+  EXPECT_DOUBLE_EQ(load_variance(one), 0.0);
+}
+
+TEST(Fairness, NegativeLoadGuardedAndClampedToZero) {
+  // Loads must be non-negative; under kLogAndCount a negative element
+  // is counted as a violation and treated as zero, keeping the indices
+  // inside their documented ranges.
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  core::reset_check_violations();
+  const double xs[] = {4.0, -4.0, 4.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 4.0 / 6.0);  // == {4, 0, 4}
+  EXPECT_DOUBLE_EQ(peak_to_mean(xs), 1.5);
+  EXPECT_DOUBLE_EQ(load_variance(xs),
+                   load_variance(std::array{4.0, 0.0, 4.0}));
+  EXPECT_GE(core::check_violations(), 3u);  // one per function at least
+  core::reset_check_violations();
+  core::set_check_policy(core::CheckPolicy::kAbort);
+}
+
+TEST(Fairness, LoadVarianceKnownValues) {
+  EXPECT_DOUBLE_EQ(load_variance({}), 0.0);
+  const double even[] = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(load_variance(even), 0.0);
+  const double xs[] = {2.0, 4.0, 6.0};
+  // Population variance about mean 4: (4 + 0 + 4) / 3.
+  EXPECT_NEAR(load_variance(xs), 8.0 / 3.0, 1e-12);
+  // Hotspot collapse: same total load, one gateway takes everything.
+  const double hot[] = {12.0, 0.0, 0.0};
+  EXPECT_GT(load_variance(hot), load_variance(xs));
+  EXPECT_LT(jain_index(hot), jain_index(xs));
 }
 
 TEST(Confidence, TCriticalValues) {

@@ -150,6 +150,34 @@ TEST(FlowRegistry, AggregatesAcrossFlows) {
   EXPECT_NEAR(reg.mean_delay_s(), 0.020, 1e-9);
 }
 
+TEST(FlowRegistry, BurstyArrivalsAggregateCorrectly) {
+  // Flows register over time (the seeded flow-arrival process) and send
+  // in bursts; aggregates must reflect exactly what each flow offered,
+  // independent of registration order or interleaving.
+  FlowRegistry reg;
+  reg.register_flow(1, net::Address(0), net::Address(9));
+  for (int i = 0; i < 5; ++i) reg.record_sent(1, 100, sim::Time::seconds(1.0));
+  // Second flow joins mid-run, after flow 1 already offered traffic.
+  reg.register_flow(2, net::Address(3), net::Address(9));
+  for (int i = 0; i < 3; ++i) reg.record_sent(2, 100, sim::Time::seconds(4.0));
+  // Flow 1 bursts again after its quiet period.
+  for (int i = 0; i < 5; ++i) reg.record_sent(1, 100, sim::Time::seconds(6.0));
+  EXPECT_EQ(reg.total_sent(), 13u);
+  EXPECT_EQ(reg.find(1)->sent, 10u);
+  EXPECT_EQ(reg.find(2)->sent, 3u);
+  // Deliveries land out of burst order across flows.
+  reg.record_delivery(2, 1, 100, sim::Time::seconds(4.0),
+                      sim::Time::seconds(4.1));
+  reg.record_delivery(1, 1, 100, sim::Time::seconds(1.0),
+                      sim::Time::seconds(1.2));
+  reg.record_delivery(1, 6, 100, sim::Time::seconds(6.0),
+                      sim::Time::seconds(6.1));
+  EXPECT_EQ(reg.total_delivered(), 3u);
+  EXPECT_NEAR(reg.find(1)->pdr(), 0.2, 1e-12);
+  EXPECT_NEAR(reg.find(2)->pdr(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(reg.aggregate_pdr(), 3.0 / 13.0, 1e-12);
+}
+
 TEST(FlowRegistry, UnknownFlowDeliveryIgnored) {
   FlowRegistry reg;
   reg.record_delivery(99, 1, 100, sim::Time::zero(), sim::Time::millis(10.0));
