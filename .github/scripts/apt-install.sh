@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# apt-get with retries. Ubuntu mirror flakes (transient 403/timeout on
+# azure.archive.ubuntu.com) are the single biggest source of spurious CI
+# failures; a short backoff-and-retry absorbs nearly all of them.
+#
+# Usage: apt-install.sh PACKAGE...
+set -euo pipefail
+
+if [[ $# -eq 0 ]]; then
+  echo "usage: $0 PACKAGE..." >&2
+  exit 2
+fi
+
+attempts=3
+for ((i = 1; i <= attempts; i++)); do
+  if sudo apt-get update &&
+     sudo apt-get install -y --no-install-recommends "$@"; then
+    exit 0
+  fi
+  if ((i < attempts)); then
+    echo "apt-get failed (attempt $i/$attempts); retrying in 20s..." >&2
+    sleep 20
+  fi
+done
+echo "apt-get failed after $attempts attempts" >&2
+exit 1

@@ -66,6 +66,7 @@ BENCHMARK(BM_Reference100Nodes6pps)
 // size the full O(N^2) scan would dominate the event loop.
 void BM_Scale400Nodes6pps(benchmark::State& state) {
   std::uint64_t events = 0;
+  std::size_t bytes_per_node = 0;
   for (auto _ : state) {
     exp::ScenarioConfig cfg = reference_config(core::Protocol::kClnlr);
     cfg.n_nodes = 400;
@@ -76,11 +77,17 @@ void BM_Scale400Nodes6pps(benchmark::State& state) {
     exp::Scenario s(cfg);
     s.run();
     events += s.simulator().events_executed();
+    // End-of-run footprint: tables and caches are at their steady-state
+    // size after 8 simulated seconds of routed traffic.
+    bytes_per_node = s.bytes_per_node();
   }
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["sim_events"] = benchmark::Counter(
       static_cast<double>(events) / static_cast<double>(state.iterations()));
+  // Gated by bench/perf_gate.py (higher = regression).
+  state.counters["bytes_per_node"] =
+      benchmark::Counter(static_cast<double>(bytes_per_node));
 }
 BENCHMARK(BM_Scale400Nodes6pps)->Iterations(1)->Unit(benchmark::kMillisecond);
 

@@ -147,6 +147,21 @@ class Scenario {
   // Factory for injecting extra (unmeasured) traffic into the mesh.
   [[nodiscard]] net::PacketFactory& packet_factory() { return factory_; }
 
+  // Mean per-node dynamic footprint: each node's phy/mac/agent state
+  // plus an equal share of the channel (caches, index, pending slots).
+  // Surfaced as the bytes_per_node counter in BENCH_macro.json and
+  // gated by bench/perf_gate.py.
+  [[nodiscard]] std::size_t bytes_per_node() const {
+    if (nodes_.empty()) return 0;
+    std::size_t bytes = 0;
+    for (const NodeStack& n : nodes_) {
+      bytes += sizeof(NodeStack) + n.phy->memory_bytes() +
+               n.mac->memory_bytes() + n.agent->memory_bytes();
+    }
+    bytes += channel_->memory_bytes();
+    return bytes / nodes_.size();
+  }
+
  private:
   struct NodeStack {
     std::unique_ptr<mobility::MobilityModel> mobility;

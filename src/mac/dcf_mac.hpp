@@ -120,6 +120,15 @@ class DcfMac final : public phy::PhyListener {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // Dynamic footprint (tx queue + duplicate-detection map) — feeds the
+  // bytes_per_node bench counter.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    using Node = std::pair<const net::Address, std::uint16_t>;
+    return sizeof(*this) + queue_.size() * sizeof(OutFrame) +
+           last_rx_seq_.bucket_count() * sizeof(void*) +
+           last_rx_seq_.size() * (sizeof(Node) + 16);
+  }
+
   // --- PhyListener -------------------------------------------------------
   void on_rx_start() override;
   void on_rx_end(std::optional<net::Packet> packet, double rx_power_dbm) override;

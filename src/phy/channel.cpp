@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "phy/units.hpp"
 
 namespace wmn::phy {
 
@@ -62,6 +63,7 @@ void WirelessChannel::deliver(std::uint32_t slot) {
   net::Packet packet = std::move(*d.packet);
   WifiPhy* rx = d.rx;
   const double p_dbm = d.rx_power_dbm;
+  const double p_mw = d.rx_power_mw;
   const sim::Time duration = d.duration;
   d.packet.reset();
   d.rx = nullptr;
@@ -73,14 +75,13 @@ void WirelessChannel::deliver(std::uint32_t slot) {
     ++counters_.copies_dropped_fault;
     return;
   }
-  rx->begin_arrival(std::move(packet), p_dbm, duration);
+  rx->begin_arrival(std::move(packet), p_dbm, p_mw, duration);
 }
 
 void WirelessChannel::schedule_delivery(WifiPhy* rx, const net::Packet& packet,
-                                        double p_dbm, double distance_m,
-                                        sim::Time duration) {
+                                        double p_dbm, double p_mw,
+                                        sim::Time delay, sim::Time duration) {
   ++counters_.copies_delivered;
-  const sim::Time delay = sim::Time::seconds(distance_m / kSpeedOfLight);
   // Each receiver gets its own (cheap, header-sharing) packet copy,
   // parked in a recycled slot until the propagation delay elapses.
   const std::uint32_t slot = acquire_slot();
@@ -88,9 +89,28 @@ void WirelessChannel::schedule_delivery(WifiPhy* rx, const net::Packet& packet,
   d.packet.emplace(packet);
   d.rx = rx;
   d.rx_power_dbm = p_dbm;
+  d.rx_power_mw = p_mw;
   d.duration = duration;
   ++in_flight_;
   sim_.schedule(delay, [this, slot] { deliver(slot); });
+}
+
+void WirelessChannel::refresh_ranges() {
+  min_detection_floor_dbm_ = std::numeric_limits<double>::infinity();
+  for (const WifiPhy* rx : radios_) {
+    min_detection_floor_dbm_ =
+        std::min(min_detection_floor_dbm_, rx->config().detection_floor_dbm);
+  }
+  radio_range_m_.resize(radios_.size());
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    radio_range_m_[i] = propagation_->max_range_m(
+        radios_[i]->config().tx_power_dbm, min_detection_floor_dbm_);
+  }
+  // Ranges feed the cached candidate lists: force rebuilds.
+  for (NeighborCache& nc : neighbor_caches_) {
+    nc.built_version = ~std::uint64_t{0};
+  }
+  ranges_valid_ = true;
 }
 
 void WirelessChannel::build_spatial_index() {
@@ -99,9 +119,7 @@ void WirelessChannel::build_spatial_index() {
   // coarse cells and every query returns everyone — correct, just not
   // culled — while the link-budget cache still pays off.
   double max_range = 0.0;
-  for (const WifiPhy* phy : radios_) {
-    const double r = propagation_->max_range_m(phy->config().tx_power_dbm,
-                                               min_detection_floor_dbm_);
+  for (const double r : radio_range_m_) {
     if (std::isfinite(r)) max_range = std::max(max_range, r);
   }
   const double area_max = std::max(area_width_m_, area_height_m_);
@@ -116,31 +134,59 @@ void WirelessChannel::build_spatial_index() {
 
 void WirelessChannel::rebuild_neighbor_cache(std::uint32_t src_index) {
   NeighborCache& nc = neighbor_caches_[src_index];
-  nc.candidates.clear();
+  nc.rx_index.clear();
+  nc.is_cached.clear();
+  nc.power_dbm.clear();
+  nc.power_mw.clear();
+  nc.delay.clear();
   nc.culled = 0;
+  nc.n_live = 0;
   const WifiPhy& src = *radios_[src_index];
   index_->gather(src_index, radio_range_m_[src_index], gather_scratch_);
   nc.culled = radios_.size() - 1 - gather_scratch_.size();
   const bool src_pinned = index_->pinned(src_index);
   const mobility::Vec2 src_pos = index_->bounds(src_index).lo;
+
+  // Both endpoints holding still for this index version means the
+  // budget can be memoised: batch every such pair through the kernel
+  // once (identical math to what a transmission would run, including
+  // the shadowing per-link draw) and store power in both units plus
+  // the propagation delay. Pairs already under the receiver's floor
+  // fold into the bulk drop count.
+  rebuild_batch_.clear();
+  if (src_pinned) {
+    for (const std::uint32_t i : gather_scratch_) {
+      if (index_->pinned(i)) {
+        rebuild_batch_.push(index_->bounds(i).lo, radios_[i]->node_id(), i);
+      }
+    }
+    LinkBudgetKernel::evaluate(*propagation_, src.config().tx_power_dbm,
+                               src_pos, src.node_id(), rebuild_batch_,
+                               eval_mode_);
+  }
+
+  std::size_t cursor = 0;
   for (const std::uint32_t i : gather_scratch_) {
     if (src_pinned && index_->pinned(i)) {
-      // Both endpoints hold still for this index version: memoise the
-      // exact budget (identical to what the model would recompute,
-      // including the shadowing per-link draw). Pairs already under
-      // the receiver's floor fold into the bulk drop count.
-      const mobility::Vec2 rx_pos = index_->bounds(i).lo;
-      const double p_dbm = propagation_->rx_power_dbm(
-          src.config().tx_power_dbm, src_pos, rx_pos, src.node_id(),
-          radios_[i]->node_id());
+      const double p_dbm = rebuild_batch_.power_dbm[cursor];
+      const double dist = rebuild_batch_.distance_m[cursor];
+      ++cursor;
       if (p_dbm < radios_[i]->config().detection_floor_dbm) {
         ++nc.culled;
         continue;
       }
-      nc.candidates.push_back(
-          Candidate{i, true, p_dbm, src_pos.distance_to(rx_pos)});
+      nc.rx_index.push_back(i);
+      nc.is_cached.push_back(1);
+      nc.power_dbm.push_back(p_dbm);
+      nc.power_mw.push_back(dbm_to_mw(p_dbm));
+      nc.delay.push_back(sim::Time::seconds(dist / kSpeedOfLight));
     } else {
-      nc.candidates.push_back(Candidate{i, false, 0.0, 0.0});
+      nc.rx_index.push_back(i);
+      nc.is_cached.push_back(0);
+      nc.power_dbm.push_back(0.0);
+      nc.power_mw.push_back(0.0);
+      nc.delay.push_back(sim::Time{});
+      ++nc.n_live;
     }
   }
   nc.built_version = index_->version();
@@ -158,21 +204,126 @@ void WirelessChannel::transmit_indexed(const WifiPhy& src,
   // floor: account the whole batch so the counter equals the full
   // scan's (N-1 - examined) + individually-dropped identity.
   counters_.copies_dropped_floor += nc.culled;
-  for (const Candidate& c : nc.candidates) {
-    WifiPhy* rx = radios_[c.rx_index];
-    if (c.budget_cached) {
-      schedule_delivery(rx, packet, c.power_dbm, c.distance_m, duration);
+  const std::size_t n = nc.rx_index.size();
+
+  if (nc.n_live == 0) {
+    // Static mesh: every budget is memoised. Branch-free sweep over
+    // the SoA arrays; per candidate this is a packet copy, a slot and
+    // a scheduled event — no propagation math, no unit conversions.
+    for (std::size_t i = 0; i < n; ++i) {
+      schedule_delivery(radios_[nc.rx_index[i]], packet, nc.power_dbm[i],
+                        nc.power_mw[i], nc.delay[i], duration);
+    }
+    return;
+  }
+
+  // Mixed cache: batch the mobile candidates through the kernel, then
+  // merge with the memoised ones in ascending attach order (the order
+  // the full scan visits, so tie-broken event order is identical).
+  batch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nc.is_cached[i] == 0) {
+      const std::uint32_t r = nc.rx_index[i];
+      batch_.push(radios_[r]->position(now), radios_[r]->node_id(), r);
+    }
+  }
+  LinkBudgetKernel::evaluate(*propagation_, src.config().tx_power_dbm, tx_pos,
+                             src.node_id(), batch_, eval_mode_);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nc.is_cached[i] != 0) {
+      schedule_delivery(radios_[nc.rx_index[i]], packet, nc.power_dbm[i],
+                        nc.power_mw[i], nc.delay[i], duration);
       continue;
     }
-    const mobility::Vec2 rx_pos = rx->position(now);
-    const double p_dbm = propagation_->rx_power_dbm(
-        src.config().tx_power_dbm, tx_pos, rx_pos, src.node_id(),
-        rx->node_id());
+    const double p_dbm = batch_.power_dbm[cursor];
+    const double dist = batch_.distance_m[cursor];
+    ++cursor;
+    WifiPhy* rx = radios_[nc.rx_index[i]];
     if (p_dbm < rx->config().detection_floor_dbm) {
       ++counters_.copies_dropped_floor;
       continue;
     }
-    schedule_delivery(rx, packet, p_dbm, tx_pos.distance_to(rx_pos), duration);
+    schedule_delivery(rx, packet, p_dbm, dbm_to_mw(p_dbm),
+                      sim::Time::seconds(dist / kSpeedOfLight), duration);
+  }
+}
+
+void WirelessChannel::transmit_full_scan(const WifiPhy& src,
+                                         const net::Packet& packet,
+                                         sim::Time duration, sim::Time now,
+                                         mobility::Vec2 tx_pos) {
+  batch_.clear();
+  for (WifiPhy* rx : radios_) {
+    if (rx == &src) continue;
+    batch_.push(rx->position(now), rx->node_id(),
+                rx->channel_index());
+  }
+  LinkBudgetKernel::compute_distances(batch_, tx_pos, eval_mode_);
+
+  // Distance prefilter: the source's conservative max_range_m
+  // inversion at the minimum attached floor — the same proof the
+  // spatial index culls with. Every pair farther out is provably below
+  // every receiver's floor, so it can be floor-accounted without
+  // paying the model's transcendentals. (The > 0.05 guard keeps the
+  // proof exact where the distance floor could round a degenerate
+  // range up.)
+  const double r = radio_range_m_[src.channel_index()];
+  std::size_t n = batch_.size();
+  if (std::isfinite(r) && r > 0.05) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < n; ++read) {
+      if (batch_.distance_m[read] > r) {
+        ++counters_.copies_dropped_floor;
+        continue;
+      }
+      if (write != read) batch_.compact_keep(write, read);
+      ++write;
+    }
+    batch_.resize_down(write);
+    n = write;
+  }
+
+  LinkBudgetKernel::evaluate_with_distances(
+      *propagation_, src.config().tx_power_dbm, tx_pos, src.node_id(), batch_);
+  for (std::size_t i = 0; i < n; ++i) {
+    WifiPhy* rx = radios_[batch_.rx_index[i]];
+    const double p_dbm = batch_.power_dbm[i];
+    if (p_dbm < rx->config().detection_floor_dbm) {
+      ++counters_.copies_dropped_floor;
+      continue;
+    }
+    schedule_delivery(rx, packet, p_dbm, dbm_to_mw(p_dbm),
+                      sim::Time::seconds(batch_.distance_m[i] / kSpeedOfLight),
+                      duration);
+  }
+}
+
+void WirelessChannel::transmit_fault_scan(const WifiPhy& src,
+                                          const net::Packet& packet,
+                                          sim::Time duration, sim::Time now,
+                                          mobility::Vec2 tx_pos) {
+  // Per-pair scalar walk: the overlay decides per receiver whether a
+  // drop is a fault drop or a floor drop, and that attribution (plus
+  // blackout attenuation) must see every pair in order.
+  for (WifiPhy* rx : radios_) {
+    if (rx == &src) continue;
+    const mobility::Vec2 rx_pos = rx->position(now);
+    double p_dbm = propagation_->rx_power_dbm(
+        src.config().tx_power_dbm, tx_pos, rx_pos, src.node_id(), rx->node_id());
+    if (!fault_->node_up(rx->node_id())) {
+      ++counters_.copies_dropped_fault;
+      continue;
+    }
+    p_dbm -= fault_->link_loss_db(src.node_id(), rx->node_id(), now);
+    if (p_dbm < rx->config().detection_floor_dbm) {
+      ++counters_.copies_dropped_floor;
+      continue;
+    }
+    schedule_delivery(
+        rx, packet, p_dbm, dbm_to_mw(p_dbm),
+        sim::Time::seconds(link_distance_m(tx_pos, rx_pos) / kSpeedOfLight),
+        duration);
   }
 }
 
@@ -186,53 +337,35 @@ void WirelessChannel::transmit(const WifiPhy& src, const net::Packet& packet,
   const sim::Time now = sim_.now();
   const mobility::Vec2 tx_pos = src.position(now);
 
-  // Indexed fast path. With a fault overlay installed we take the full
-  // scan instead: the overlay decides per receiver whether a drop is a
-  // fault drop or a floor drop, and that attribution (plus blackout
-  // attenuation) must see every pair in order.
-  if (index_enabled_ && fault_ == nullptr) {
-    if (!ranges_valid_) {
-      min_detection_floor_dbm_ = std::numeric_limits<double>::infinity();
-      for (const WifiPhy* rx : radios_) {
-        min_detection_floor_dbm_ =
-            std::min(min_detection_floor_dbm_, rx->config().detection_floor_dbm);
-      }
-      radio_range_m_.resize(radios_.size());
-      for (std::size_t i = 0; i < radios_.size(); ++i) {
-        radio_range_m_[i] = propagation_->max_range_m(
-            radios_[i]->config().tx_power_dbm, min_detection_floor_dbm_);
-      }
-      // Ranges feed the cached candidate lists: force rebuilds.
-      for (NeighborCache& nc : neighbor_caches_) {
-        nc.built_version = ~std::uint64_t{0};
-      }
-      ranges_valid_ = true;
-    }
-    // Grid sizing needs the detection floor, so the ranges block above
-    // must run first.
+  // With a fault overlay installed both batched paths stand down: the
+  // overlay's per-receiver attribution must see every pair.
+  if (fault_ != nullptr) {
+    transmit_fault_scan(src, packet, duration, now, tx_pos);
+    return;
+  }
+
+  if (!ranges_valid_) refresh_ranges();
+  if (index_enabled_) {
+    // Grid sizing needs the detection ranges, so refresh_ranges() must
+    // have run first.
     if (index_ == nullptr) build_spatial_index();
     transmit_indexed(src, packet, duration, now, tx_pos);
     return;
   }
+  transmit_full_scan(src, packet, duration, now, tx_pos);
+}
 
-  for (WifiPhy* rx : radios_) {
-    if (rx == &src) continue;
-    const mobility::Vec2 rx_pos = rx->position(now);
-    double p_dbm = propagation_->rx_power_dbm(
-        src.config().tx_power_dbm, tx_pos, rx_pos, src.node_id(), rx->node_id());
-    if (fault_ != nullptr) {
-      if (!fault_->node_up(rx->node_id())) {
-        ++counters_.copies_dropped_fault;
-        continue;
-      }
-      p_dbm -= fault_->link_loss_db(src.node_id(), rx->node_id(), now);
-    }
-    if (p_dbm < rx->config().detection_floor_dbm) {
-      ++counters_.copies_dropped_floor;
-      continue;
-    }
-    schedule_delivery(rx, packet, p_dbm, tx_pos.distance_to(rx_pos), duration);
-  }
+std::size_t WirelessChannel::memory_bytes() const {
+  std::size_t bytes = sizeof(*this) +
+                      pending_.capacity() * sizeof(PendingDelivery) +
+                      radios_.capacity() * sizeof(WifiPhy*) +
+                      radio_range_m_.capacity() * sizeof(double) +
+                      gather_scratch_.capacity() * sizeof(std::uint32_t) +
+                      batch_.memory_bytes() + rebuild_batch_.memory_bytes() +
+                      neighbor_caches_.capacity() * sizeof(NeighborCache);
+  for (const NeighborCache& nc : neighbor_caches_) bytes += nc.memory_bytes();
+  if (index_ != nullptr) bytes += index_->memory_bytes();
+  return bytes;
 }
 
 }  // namespace wmn::phy

@@ -13,25 +13,31 @@
 // capture would not fit, by design — and reuses delivery storage
 // instead of allocating per receiver.
 //
-// Broadcast fan-out cost: the naive transmit() walks all N radios with
-// a propagation-model call per pair — O(N^2) for broadcast-heavy
-// discovery even though most receivers sit far below the detection
-// floor. enable_spatial_index() activates two layers on top:
+// Broadcast fan-out cost: all candidate-link math runs through the
+// phy::LinkBudgetKernel over reusable SoA buffers (one batched
+// distance pass + one batched model pass per transmission) instead of
+// a virtual propagation call per pair. On top of that,
+// enable_spatial_index() activates two layers:
 //
 //   * a phy::SpatialIndex (uniform grid fed by mobility epochs) culls
 //     receivers provably out of range (PropagationModel::max_range_m)
 //     before any propagation math;
-//   * a per-source neighbour cache memoises the candidate list and,
-//     for pinned-position pairs (both mobility bounds are points), the
-//     full link budget — including the shadowing per-link hash — so a
-//     static mesh pays the propagation model once per link per run.
+//   * a per-source neighbour cache memoises the candidate list in SoA
+//     form and, for pinned-position pairs (both mobility bounds are
+//     points), the full link budget — power in dBm AND milliwatts plus
+//     the propagation delay — so a static mesh pays the propagation
+//     model (and the dBm->mW pow()) once per link per run.
+//
+// Even without the index, the full scan culls receivers whose batched
+// distance exceeds the source's conservative max_range_m inversion
+// (the same proof the spatial index rests on) before the model pass.
 //
 // The indexed path is bit-identical to the full scan: candidates are
 // examined in attach order, culled pairs are provably below the floor
 // and are bulk-accounted as copies_dropped_floor, and cached budgets
-// are the exact values the model would recompute. With a fault overlay
-// installed the channel reverts to the full scan so the overlay's
-// counter attribution (fault vs floor drops) stays exact.
+// are the exact values the kernel would recompute. With a fault
+// overlay installed the channel reverts to the per-pair scan so the
+// overlay's counter attribution (fault vs floor drops) stays exact.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +47,7 @@
 
 #include "net/packet.hpp"
 #include "phy/fault_overlay.hpp"
+#include "phy/link_budget_kernel.hpp"
 #include "phy/propagation.hpp"
 #include "phy/spatial_index.hpp"
 #include "phy/wifi_phy.hpp"
@@ -85,6 +92,11 @@ class WirelessChannel {
   // overlay must outlive its installation. See phy/fault_overlay.hpp.
   void set_fault_overlay(const FaultOverlay* overlay) { fault_ = overlay; }
 
+  // Test hook: force the kernel's scalar path (kAuto uses the explicit
+  // SIMD lanes when available). Outputs are bit-identical either way —
+  // the batch-vs-scalar equivalence tests pin exactly that.
+  void set_link_eval_mode(LinkBudgetKernel::Mode mode) { eval_mode_ = mode; }
+
   struct Counters {
     std::uint64_t transmissions = 0;
     std::uint64_t copies_delivered = 0;  // arrivals above detection floor
@@ -96,27 +108,30 @@ class WirelessChannel {
   // Copies currently propagating (diagnostics / tests).
   [[nodiscard]] std::size_t deliveries_in_flight() const { return in_flight_; }
 
+  // Dynamic footprint of the channel's own state (slot pool, SoA
+  // caches, kernel batches, spatial index scratch) — feeds the
+  // bytes_per_node bench counter.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   struct PendingDelivery {
     std::optional<net::Packet> packet;
     WifiPhy* rx = nullptr;
     double rx_power_dbm = 0.0;
+    double rx_power_mw = 0.0;
     sim::Time duration{};
     std::uint32_t next_free = kNilSlot;
   };
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
-  // One candidate receiver in a source's cached neighbour list. For
-  // pinned-position pairs the link budget and distance are memoised;
-  // pairs with a mobile endpoint recompute them per transmission.
-  struct Candidate {
-    std::uint32_t rx_index = 0;
-    bool budget_cached = false;
-    double power_dbm = 0.0;
-    double distance_m = 0.0;
-  };
-
-  // Per-source candidate list, valid for one SpatialIndex version.
+  // Per-source candidate list in SoA form, valid for one SpatialIndex
+  // version, elements in ascending attach order. Memoised (pinned-
+  // pair) entries carry the exact budget: power in dBm and mW plus the
+  // propagation delay, all computed once at rebuild through the same
+  // kernel the live path uses. Live entries (a mobile endpoint) are
+  // re-evaluated per transmission; n_live == 0 (the static-mesh common
+  // case) enables the branch-free fast loop.
+  //
   // `culled` counts receivers provably below the detection floor for
   // this version (out of range, or a pinned pair whose exact cached
   // budget is under the receiver's floor) — bulk-added to
@@ -124,19 +139,39 @@ class WirelessChannel {
   // full scan exactly.
   struct NeighborCache {
     std::uint64_t built_version = ~std::uint64_t{0};
-    std::vector<Candidate> candidates;
     std::uint64_t culled = 0;
+    std::uint32_t n_live = 0;
+    std::vector<std::uint32_t> rx_index;
+    std::vector<std::uint8_t> is_cached;  // 1 = memoised budget below
+    std::vector<double> power_dbm;
+    std::vector<double> power_mw;
+    std::vector<sim::Time> delay;
+
+    [[nodiscard]] std::size_t memory_bytes() const {
+      return rx_index.capacity() * sizeof(std::uint32_t) +
+             is_cached.capacity() +
+             power_dbm.capacity() * sizeof(double) +
+             power_mw.capacity() * sizeof(double) +
+             delay.capacity() * sizeof(sim::Time);
+    }
   };
 
   std::uint32_t acquire_slot();
   void deliver(std::uint32_t slot);
-  void schedule_delivery(WifiPhy* rx, const net::Packet& packet,
-                         double p_dbm, double distance_m, sim::Time duration);
+  void schedule_delivery(WifiPhy* rx, const net::Packet& packet, double p_dbm,
+                         double p_mw, sim::Time delay, sim::Time duration);
+  void refresh_ranges();
   void build_spatial_index();
   void rebuild_neighbor_cache(std::uint32_t src_index);
   void transmit_indexed(const WifiPhy& src, const net::Packet& packet,
                         sim::Time duration, sim::Time now,
                         mobility::Vec2 tx_pos);
+  void transmit_full_scan(const WifiPhy& src, const net::Packet& packet,
+                          sim::Time duration, sim::Time now,
+                          mobility::Vec2 tx_pos);
+  void transmit_fault_scan(const WifiPhy& src, const net::Packet& packet,
+                           sim::Time duration, sim::Time now,
+                           mobility::Vec2 tx_pos);
 
   sim::Simulator& sim_;
   std::unique_ptr<PropagationModel> propagation_;
@@ -146,15 +181,24 @@ class WirelessChannel {
   std::uint32_t free_head_ = kNilSlot;
   std::size_t in_flight_ = 0;
   Counters counters_;
+  LinkBudgetKernel::Mode eval_mode_ = LinkBudgetKernel::Mode::kAuto;
+  // Reusable kernel buffers (hoisted out of any per-node state): one
+  // for per-transmission evaluation, one for cache rebuilds.
+  LinkBudgetKernel::Batch batch_;
+  LinkBudgetKernel::Batch rebuild_batch_;
+
+  // Conservative per-source detection ranges (max_range_m at the
+  // minimum attached floor) — used by both the spatial index grid and
+  // the full scan's distance prefilter. Recomputed after attaches.
+  bool ranges_valid_ = false;
+  double min_detection_floor_dbm_ = 0.0;
+  std::vector<double> radio_range_m_;  // per attach index
 
   // --- spatial index state (inert unless enable_spatial_index()) ------
   bool index_enabled_ = false;
   double area_width_m_ = 0.0;
   double area_height_m_ = 0.0;
   std::unique_ptr<SpatialIndex> index_;
-  bool ranges_valid_ = false;
-  double min_detection_floor_dbm_ = 0.0;
-  std::vector<double> radio_range_m_;      // per attach index
   std::vector<NeighborCache> neighbor_caches_;
   std::vector<std::uint32_t> gather_scratch_;
 };

@@ -1,0 +1,121 @@
+// Batched link-budget evaluation over SoA candidate buffers.
+//
+// The channel's hot path is "one transmitter against K candidate
+// receivers". Evaluating those links one at a time walks pointer-rich
+// per-node state and pays a virtual propagation call per pair; this
+// kernel hoists the candidates into structure-of-arrays buffers and
+// evaluates the whole batch in two straight-line passes:
+//
+//   pass 1  distances   d[i] = link_distance_m(tx, rx[i])
+//           (auto-vectorisable; optional explicit AVX2 path)
+//   pass 2  powers      model.rx_power_dbm_batch(view)
+//           (one virtual call per batch, model-specific tight loop)
+//
+// Determinism: every pass performs the same IEEE-754 operations as the
+// scalar path, in the same per-element order. The AVX2 pass uses
+// separate mul/add (never FMA contraction) and the correctly-rounded
+// _mm256_sqrt_pd/_mm256_max_pd, so its lanes are bit-identical to the
+// scalar loop; which path ran can never show in a fingerprint. Mode
+// exists so tests can force the scalar path and compare.
+//
+// The explicit SIMD path is a build-time feature probe (CMake option
+// WMN_SIMD, default ON, compiled only when the compiler accepts
+// -mavx2) plus a runtime CPU check — binaries stay portable, and the
+// scalar path is always compiled and always the fallback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+#include "phy/propagation.hpp"
+
+namespace wmn::phy {
+
+class LinkBudgetKernel {
+ public:
+  enum class Mode : std::uint8_t {
+    kAuto,    // explicit SIMD when compiled in and the CPU has it
+    kScalar,  // force the scalar/auto-vectorised loops (tests, gating)
+  };
+
+  // Reusable SoA buffers describing one transmitter's candidates.
+  // Callers push (position, node id, payload index) tuples, then run
+  // evaluate(); distance_m/power_dbm come back aligned element-wise.
+  struct Batch {
+    std::vector<double> rx_x;
+    std::vector<double> rx_y;
+    std::vector<std::uint32_t> rx_id;     // node ids (shadowing hash input)
+    std::vector<std::uint32_t> rx_index;  // caller payload (attach index)
+    std::vector<double> distance_m;       // out: floored link distance
+    std::vector<double> power_dbm;        // out: received power
+
+    void clear() {
+      rx_x.clear();
+      rx_y.clear();
+      rx_id.clear();
+      rx_index.clear();
+    }
+
+    void push(mobility::Vec2 pos, std::uint32_t id, std::uint32_t index) {
+      rx_x.push_back(pos.x);
+      rx_y.push_back(pos.y);
+      rx_id.push_back(id);
+      rx_index.push_back(index);
+    }
+
+    [[nodiscard]] std::size_t size() const { return rx_x.size(); }
+
+    // Keep element i, dropping everything before the write cursor —
+    // used by the channel's full-scan prefilter to compact in-range
+    // survivors (with their distances) without a second buffer.
+    void compact_keep(std::size_t write, std::size_t read) {
+      rx_x[write] = rx_x[read];
+      rx_y[write] = rx_y[read];
+      rx_id[write] = rx_id[read];
+      rx_index[write] = rx_index[read];
+      distance_m[write] = distance_m[read];
+    }
+
+    void resize_down(std::size_t n) {
+      rx_x.resize(n);
+      rx_y.resize(n);
+      rx_id.resize(n);
+      rx_index.resize(n);
+      distance_m.resize(n);
+    }
+
+    [[nodiscard]] std::size_t memory_bytes() const {
+      return rx_x.capacity() * sizeof(double) +
+             rx_y.capacity() * sizeof(double) +
+             rx_id.capacity() * sizeof(std::uint32_t) +
+             rx_index.capacity() * sizeof(std::uint32_t) +
+             distance_m.capacity() * sizeof(double) +
+             power_dbm.capacity() * sizeof(double);
+    }
+  };
+
+  // Pass 1 only: fill batch.distance_m for every element.
+  static void compute_distances(Batch& batch, mobility::Vec2 tx_pos,
+                                Mode mode = Mode::kAuto);
+
+  // Pass 1 + pass 2: distances, then model powers into batch.power_dbm.
+  static void evaluate(const PropagationModel& model, double tx_power_dbm,
+                       mobility::Vec2 tx_pos, std::uint32_t tx_id,
+                       Batch& batch, Mode mode = Mode::kAuto);
+
+  // Pass 2 only, for batches whose distances are already valid (the
+  // channel's full-scan path computes distances, culls, then evaluates
+  // the surviving sub-batch).
+  static void evaluate_with_distances(const PropagationModel& model,
+                                      double tx_power_dbm,
+                                      mobility::Vec2 tx_pos,
+                                      std::uint32_t tx_id, Batch& batch);
+
+  // True when the explicit SIMD path is compiled in AND this CPU
+  // supports it. kAuto degrades to scalar when false.
+  [[nodiscard]] static bool simd_available();
+};
+
+}  // namespace wmn::phy

@@ -1,0 +1,44 @@
+// Explicit AVX2 lane implementation of the kernel's distance pass.
+// This translation unit is the ONLY one compiled with -mavx2 (see
+// src/phy/CMakeLists.txt); callers reach it through the runtime
+// __builtin_cpu_supports dispatch in link_budget_kernel.cpp, so the
+// binary stays runnable on pre-AVX2 hardware.
+//
+// Bit-identity with the scalar loop is load-bearing: subtraction,
+// multiply, add, sqrt and max are all performed as separate IEEE-754
+// operations in the same per-element order as link_distance_m(). In
+// particular dx*dx + dy*dy uses _mm256_mul_pd/_mm256_add_pd — never an
+// FMA, whose unrounded intermediate would diverge from the scalar
+// path — and _mm256_sqrt_pd/_mm256_max_pd are correctly-rounded /
+// exact selections. The equivalence tests compare both paths
+// element-wise for exact equality.
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "mobility/vec2.hpp"
+#include "phy/propagation.hpp"
+
+namespace wmn::phy::detail {
+
+void compute_distances_avx2(const double* rx_x, const double* rx_y,
+                            double* out, std::size_t n,
+                            mobility::Vec2 tx_pos) {
+  const __m256d tx = _mm256_set1_pd(tx_pos.x);
+  const __m256d ty = _mm256_set1_pd(tx_pos.y);
+  const __m256d floor = _mm256_set1_pd(0.05);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(tx, _mm256_loadu_pd(rx_x + i));
+    const __m256d dy = _mm256_sub_pd(ty, _mm256_loadu_pd(rx_y + i));
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    const __m256d d = _mm256_sqrt_pd(d2);
+    _mm256_storeu_pd(out + i, _mm256_max_pd(d, floor));
+  }
+  for (; i < n; ++i) {
+    out[i] = link_distance_m(tx_pos, mobility::Vec2{rx_x[i], rx_y[i]});
+  }
+}
+
+}  // namespace wmn::phy::detail

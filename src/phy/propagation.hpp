@@ -5,8 +5,21 @@
 // wrapper draw a per-link offset that is deterministic for a given
 // master seed and symmetric (reciprocal links fade identically), which
 // keeps runs reproducible and unicast/ACK behaviour consistent.
+//
+// Besides the scalar per-pair query, every model evaluates whole
+// batches of links against one transmitter (rx_power_dbm_batch). The
+// batch contract is strict: for every element the batch output must be
+// bit-identical to the scalar rx_power_dbm call — the channel mixes
+// memoised (batch-computed) and per-transmission (also batch-computed)
+// budgets freely and the determinism fingerprint would expose any ulp
+// of divergence. The built-in models share one per-distance core
+// between the scalar and batch paths so the identity holds by
+// construction; the base-class default simply loops the scalar virtual,
+// so third-party models inherit correctness (not speed) for free.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -14,6 +27,38 @@
 #include "mobility/vec2.hpp"
 
 namespace wmn::phy {
+
+// SoA view of one transmitter against a batch of candidate receivers.
+// All arrays hold `n` elements and are caller-owned (see
+// LinkBudgetKernel, which owns reusable buffers and fills
+// `distance_m` before handing the view to the model).
+struct LinkBatchView {
+  double tx_power_dbm = 0.0;
+  mobility::Vec2 tx_pos{};
+  std::uint32_t tx_id = 0;
+  std::size_t n = 0;
+  const double* rx_x = nullptr;       // receiver positions
+  const double* rx_y = nullptr;
+  const std::uint32_t* rx_id = nullptr;  // receiver node ids (shadowing)
+  const double* distance_m = nullptr;    // precomputed link_distance_m()
+  double* out_power_dbm = nullptr;       // filled by the model
+};
+
+// The one distance function every propagation path uses: straight-line
+// Euclidean distance floored to a few centimetres so co-located nodes
+// cannot produce infinite receive power. sqrt(dx^2 + dy^2) rather than
+// std::hypot: sqrt is a correctly-rounded single instruction, so the
+// scalar loop, the auto-vectorised loop, and the explicit SIMD path
+// all produce the same bits (hypot is only near-correctly rounded and
+// is not vectorisable). Mesh coordinates are O(km), far from the
+// overflow regime hypot exists to handle.
+[[nodiscard]] inline double link_distance_m(mobility::Vec2 a,
+                                            mobility::Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double d = std::sqrt(dx * dx + dy * dy);
+  return d < 0.05 ? 0.05 : d;
+}
 
 class PropagationModel {
  public:
@@ -24,6 +69,12 @@ class PropagationModel {
                                             mobility::Vec2 rx_pos,
                                             std::uint32_t tx_id,
                                             std::uint32_t rx_id) const = 0;
+
+  // Batch form: fill batch.out_power_dbm[i] for every element, bit-
+  // identical to the scalar call on the same pair. The default loops
+  // the scalar virtual (correct for any derived model); the built-in
+  // models override with straight-line loops over batch.distance_m.
+  virtual void rx_power_dbm_batch(const LinkBatchView& batch) const;
 
   // Inverse of the path-loss curve: a distance R such that for EVERY
   // pair of positions farther apart than R and every link identity,
@@ -50,8 +101,14 @@ class FriisModel final : public PropagationModel {
                                     mobility::Vec2 rx_pos, std::uint32_t,
                                     std::uint32_t) const override;
 
+  void rx_power_dbm_batch(const LinkBatchView& batch) const override;
+
   [[nodiscard]] double max_range_m(double tx_power_dbm,
                                    double floor_dbm) const override;
+
+  // Shared scalar core: received power at a (floored) distance. Public
+  // because TwoRayGroundModel reuses it below its crossover distance.
+  [[nodiscard]] double power_at(double tx_power_dbm, double d) const;
 
  private:
   double frequency_hz_;
@@ -72,12 +129,16 @@ class LogDistanceModel final : public PropagationModel {
                                     mobility::Vec2 rx_pos, std::uint32_t,
                                     std::uint32_t) const override;
 
+  void rx_power_dbm_batch(const LinkBatchView& batch) const override;
+
   [[nodiscard]] double max_range_m(double tx_power_dbm,
                                    double floor_dbm) const override;
 
   [[nodiscard]] double exponent() const { return exponent_; }
 
  private:
+  [[nodiscard]] double power_at(double tx_power_dbm, double d) const;
+
   double exponent_;
   double reference_distance_m_;
   double reference_loss_db_;
@@ -93,12 +154,16 @@ class TwoRayGroundModel final : public PropagationModel {
                                     mobility::Vec2 rx_pos, std::uint32_t,
                                     std::uint32_t) const override;
 
+  void rx_power_dbm_batch(const LinkBatchView& batch) const override;
+
   // Max of the two regimes' inversions: beyond both, whichever piece
   // applies at a given distance is below the floor.
   [[nodiscard]] double max_range_m(double tx_power_dbm,
                                    double floor_dbm) const override;
 
  private:
+  [[nodiscard]] double power_at(double tx_power_dbm, double d) const;
+
   FriisModel friis_;
   double frequency_hz_;
   double antenna_height_m_;
@@ -115,6 +180,12 @@ class LogNormalShadowing final : public PropagationModel {
   [[nodiscard]] double rx_power_dbm(double tx_power_dbm, mobility::Vec2 tx_pos,
                                     mobility::Vec2 rx_pos, std::uint32_t tx_id,
                                     std::uint32_t rx_id) const override;
+
+  // Batches the inner model, then adds the per-link offset element-
+  // wise. The offset is a pure function of (seed, link id pair) — no
+  // draw order, no shared stream — which is exactly what makes the
+  // shadowed budget batchable without breaking fingerprints.
+  void rx_power_dbm_batch(const LinkBatchView& batch) const override;
 
   // Inner range at a floor lowered by kSigmaBound * sigma. The offset
   // is one Marsaglia-polar normal draw from RngStream: |z| is provably

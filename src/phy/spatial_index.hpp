@@ -70,6 +70,19 @@ class SpatialIndex final : public mobility::MotionListener {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t roamer_count() const { return roamers_.size(); }
 
+  // Dynamic footprint (grid bins + per-node records + scratch) — feeds
+  // the channel's bytes_per_node accounting.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this) +
+                        nodes_.capacity() * sizeof(Node) +
+                        roamers_.capacity() * sizeof(std::uint32_t) +
+                        dirty_.capacity() * sizeof(std::uint32_t) +
+                        stamp_.capacity() * sizeof(std::uint32_t) +
+                        cells_.capacity() * sizeof(std::vector<std::uint32_t>);
+    for (const auto& c : cells_) bytes += c.capacity() * sizeof(std::uint32_t);
+    return bytes;
+  }
+
   // Candidate receivers for a transmission from node `src` that can
   // reach at most `range_m` metres: every node (except src, ascending
   // index order) whose bounds lie within `range_m` of src's bounds,

@@ -10,7 +10,13 @@ namespace wmn::phy {
 
 WifiPhy::WifiPhy(sim::Simulator& simulator, const PhyConfig& cfg,
                  std::uint32_t node_id, const mobility::MobilityModel* mobility)
-    : sim_(simulator), cfg_(cfg), node_id_(node_id), mobility_(mobility) {
+    : sim_(simulator),
+      cfg_(cfg),
+      noise_floor_mw_(dbm_to_mw(cfg.noise_floor_dbm)),
+      cca_threshold_mw_(dbm_to_mw(cfg.cca_threshold_dbm)),
+      sinr_threshold_lin_(db_to_linear(cfg.sinr_threshold_db)),
+      node_id_(node_id),
+      mobility_(mobility) {
   WMN_CHECK_NOTNULL(mobility_, "WifiPhy needs a mobility model");
 }
 
@@ -22,7 +28,7 @@ sim::Time WifiPhy::tx_duration(std::uint32_t bytes) const {
 bool WifiPhy::cca_busy() const {
   if (!up_) return false;  // a dead radio senses nothing
   if (state_ != State::kIdle) return true;
-  return interference_mw(~0ULL) >= dbm_to_mw(cfg_.cca_threshold_dbm);
+  return interference_mw(~0ULL) >= cca_threshold_mw_;
 }
 
 void WifiPhy::set_up(bool up) {
@@ -87,16 +93,16 @@ void WifiPhy::finish_tx() {
 }
 
 void WifiPhy::begin_arrival(net::Packet packet, double rx_power_dbm,
-                            sim::Time duration) {
+                            double rx_power_mw, sim::Time duration) {
   if (!up_) {
     // Crashed mid-window: energy that was already in flight when the
     // channel-side fault check ran lands here and evaporates.
     ++counters_.rx_dropped_down;
     return;
   }
-  const double power_mw = dbm_to_mw(rx_power_dbm);
   const std::uint64_t key = ++next_arrival_key_;
-  arrivals_.push_back(Arrival{key, std::move(packet), power_mw, sim_.now() + duration});
+  arrivals_.push_back(
+      Arrival{key, std::move(packet), rx_power_mw, sim_.now() + duration});
 
   const bool decodable = rx_power_dbm >= cfg_.rx_sensitivity_dbm;
   if (state_ == State::kIdle && !locked_ && decodable) {
@@ -104,7 +110,8 @@ void WifiPhy::begin_arrival(net::Packet packet, double rx_power_dbm,
     locked_ = true;
     locked_key_ = key;
     locked_since_ = sim_.now();
-    locked_power_mw_ = power_mw;
+    locked_power_mw_ = rx_power_mw;
+    locked_power_dbm_ = rx_power_dbm;
     locked_max_interference_mw_ = interference_mw(key);
     state_ = State::kRx;
     if (listener_ != nullptr) listener_->on_rx_start();
@@ -142,11 +149,12 @@ void WifiPhy::end_arrival(std::uint64_t key) {
     locked_ = false;
     counters_.rx_airtime += sim_.now() - locked_since_;
     state_ = State::kIdle;
-    const double noise_mw = dbm_to_mw(cfg_.noise_floor_dbm);
     const double sinr_lin =
-        locked_power_mw_ / (noise_mw + locked_max_interference_mw_);
-    const bool ok = linear_to_db(sinr_lin) >= cfg_.sinr_threshold_db;
-    const double rx_dbm = mw_to_dbm(locked_power_mw_);
+        locked_power_mw_ / (noise_floor_mw_ + locked_max_interference_mw_);
+    // Same comparison as linear_to_db(sinr) >= threshold_db, kept in
+    // the linear domain so the decode path never calls log10.
+    const bool ok = sinr_lin >= sinr_threshold_lin_;
+    const double rx_dbm = locked_power_dbm_;
     if (ok) {
       ++counters_.rx_ok;
       if (listener_ != nullptr) listener_->on_rx_end(std::move(packet), rx_dbm);

@@ -105,8 +105,12 @@ class WifiPhy {
 
   // --- channel-facing API ----------------------------------------------
   // An energy arrival begins at this radio (called by the channel after
-  // propagation delay). `rx_power_dbm` is already path-loss adjusted.
-  void begin_arrival(net::Packet packet, double rx_power_dbm, sim::Time duration);
+  // propagation delay). `rx_power_dbm` is already path-loss adjusted;
+  // `rx_power_mw` is the same power in linear units — the channel
+  // memoises the dBm->mW conversion per cached link, so the radio's
+  // hot path never calls pow().
+  void begin_arrival(net::Packet packet, double rx_power_dbm,
+                     double rx_power_mw, sim::Time duration);
 
   [[nodiscard]] mobility::Vec2 position(sim::Time now) const {
     return mobility_->position(now);
@@ -145,6 +149,12 @@ class WifiPhy {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // Dynamic footprint of this radio's state (arrival list) — feeds the
+  // bytes_per_node bench counter.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(*this) + arrivals_.capacity() * sizeof(Arrival);
+  }
+
   // Energy consumed since t=0 under the configured power draws:
   // TX at power_tx_w, RX-locked at power_rx_w, everything else
   // (listening, idle, carrier-sensing) at power_idle_w. Powered-down
@@ -177,6 +187,12 @@ class WifiPhy {
 
   sim::Simulator& sim_;
   PhyConfig cfg_;
+  // Hot-path constants derived from cfg_ once at construction: the
+  // linear-domain thresholds let arrival/CCA/decode logic run without
+  // pow()/log10() per event.
+  double noise_floor_mw_;
+  double cca_threshold_mw_;
+  double sinr_threshold_lin_;
   std::uint32_t node_id_;
   std::uint32_t channel_index_ = 0;
   const mobility::MobilityModel* mobility_;
@@ -192,6 +208,7 @@ class WifiPhy {
   std::uint64_t locked_key_ = 0;
   sim::Time locked_since_{};
   double locked_power_mw_ = 0.0;
+  double locked_power_dbm_ = 0.0;  // as delivered; avoids log10 at decode
   double locked_max_interference_mw_ = 0.0;
 
   bool last_cca_busy_ = false;

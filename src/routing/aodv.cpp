@@ -1039,4 +1039,32 @@ void AodvAgent::on_mac_receive(net::Packet packet, net::Address src) {
   // Unknown top header: silently ignored (future protocol versions).
 }
 
+namespace {
+
+// libstdc++ unordered_map footprint: one bucket pointer per bucket plus
+// a node (value + next pointer + cached hash ≈ value + 16) per element.
+template <typename Map>
+std::size_t umap_bytes(const Map& m) {
+  return m.bucket_count() * sizeof(void*) +
+         m.size() * (sizeof(typename Map::value_type) + 16);
+}
+
+}  // namespace
+
+std::size_t AodvAgent::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += routes_.memory_bytes() - sizeof(RouteTable);
+  bytes += neighbors_.memory_bytes() - sizeof(NeighborTable);
+  bytes += umap_bytes(rreq_cache_);
+  bytes += umap_bytes(discoveries_);
+  bytes += umap_bytes(buffers_);
+  // NOLINTNEXTLINE(wmn-unordered-iteration) — pure accumulation
+  for (const auto& [dest, q] : buffers_) {
+    bytes += q.size() * sizeof(BufferedPacket);
+  }
+  bytes += umap_bytes(blacklist_);
+  bytes += umap_bytes(broken_at_);
+  return bytes;
+}
+
 }  // namespace wmn::routing

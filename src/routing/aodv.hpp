@@ -179,6 +179,11 @@ class AodvAgent {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // Dynamic footprint of the agent's routing state (route + neighbour
+  // tables, RREQ cache, discovery/buffer maps) — feeds the
+  // bytes_per_node bench counter.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   struct RreqKey {
     std::uint64_t v;

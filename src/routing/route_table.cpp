@@ -79,14 +79,36 @@ std::vector<net::Address> RouteTable::dests_via(net::Address via, sim::Time now)
 
 void RouteTable::add_precursor(net::Address dest, net::Address precursor) {
   auto it = table_.find(dest);
-  if (it != table_.end()) it->second.precursors.insert(precursor);
+  if (it == table_.end()) return;
+  auto& prec = it->second.precursors;
+  const auto pos = std::lower_bound(prec.begin(), prec.end(), precursor);
+  if (pos == prec.end() || *pos != precursor) prec.insert(pos, precursor);
 }
 
 void RouteTable::remove_precursor(net::Address precursor) {
-  // Erasing one key from every per-entry set is commutative: the final
+  // Erasing one key from every per-entry list is commutative: the final
   // state is identical for any visit order and no events are emitted.
   // NOLINTNEXTLINE(wmn-unordered-iteration)
-  for (auto& [dest, e] : table_) e.precursors.erase(precursor);
+  for (auto& [dest, e] : table_) {
+    const auto pos =
+        std::lower_bound(e.precursors.begin(), e.precursors.end(), precursor);
+    if (pos != e.precursors.end() && *pos == precursor) {
+      e.precursors.erase(pos);
+    }
+  }
+}
+
+std::size_t RouteTable::memory_bytes() const {
+  std::size_t bytes = sizeof(*this) + table_.bucket_count() * sizeof(void*);
+  // libstdc++ node overhead: hash node = value + next pointer + cached
+  // hash; 16 bytes is the measured per-node cost on LP64.
+  using Node = std::pair<const net::Address, RouteEntry>;
+  bytes += table_.size() * (sizeof(Node) + 16);
+  // NOLINTNEXTLINE(wmn-unordered-iteration) — pure accumulation
+  for (const auto& [dest, e] : table_) {
+    bytes += e.precursors.capacity() * sizeof(net::Address);
+  }
+  return bytes;
 }
 
 void RouteTable::purge(sim::Time now, sim::Time dead_retention) {

@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/address.hpp"
@@ -16,18 +15,25 @@ namespace wmn::routing {
 
 enum class RouteState : std::uint8_t { kValid, kInvalid };
 
+// Field order packs the entry to 56 bytes (wide members first, the
+// byte-sized flags sharing one tail word) — at 400+ nodes the route
+// tables are the largest per-node structure, so the layout is part of
+// the bytes_per_node budget.
 struct RouteEntry {
-  net::Address dest;
-  net::Address next_hop;
-  std::uint8_t hop_count = 0;
-  std::uint32_t dest_seqno = 0;
-  bool valid_seqno = false;
   double metric = 0.0;          // accumulated path metric (CLNLR load)
-  RouteState state = RouteState::kValid;
   sim::Time expires{};          // entry dies (or goes stale) at this time
   // Neighbours that route *through us* to `dest`; they get RERRs when
-  // the route breaks.
-  std::unordered_set<net::Address> precursors;
+  // the route breaks. Sorted ascending and duplicate-free — a handful
+  // of addresses at most, where a sorted vector is both smaller than a
+  // hash set (24 bytes inline vs 56 + buckets) and already in the
+  // normalised order the RERR path needs.
+  std::vector<net::Address> precursors;
+  net::Address dest;
+  net::Address next_hop;
+  std::uint32_t dest_seqno = 0;
+  std::uint8_t hop_count = 0;
+  bool valid_seqno = false;
+  RouteState state = RouteState::kValid;
 };
 
 class RouteTable {
@@ -70,6 +76,10 @@ class RouteTable {
 
   // Forget everything (node crash: a rebooted router has no table).
   void clear() { table_.clear(); }
+
+  // Dynamic footprint (buckets + entries + precursor storage) — feeds
+  // the bytes_per_node bench counter.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
   std::unordered_map<net::Address, RouteEntry> table_;

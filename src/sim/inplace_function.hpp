@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <functional>
 #include <type_traits>
 #include <utility>
@@ -51,26 +52,43 @@ class InplaceFunction<R(Args...), Capacity> {
     vt_ = &vtable_for<Fn>;
   }
 
+  // Assign a fresh callable in place: destroys the current one and
+  // constructs the new one directly in the buffer. The scheduler uses
+  // this to build an event's captures straight into its calendar slot
+  // instead of bouncing them through a full-capacity temporary.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...> &&
+             sizeof(std::remove_cvref_t<F>) <= Capacity)
+  InplaceFunction& operator=(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callables must be nothrow-movable (the scheduler moves "
+                  "them during heap maintenance)");
+    destroy();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = &vtable_for<Fn>;
+    return *this;
+  }
+
   InplaceFunction(InplaceFunction&& other) noexcept : vt_(other.vt_) {
-    if (vt_ != nullptr) vt_->relocate(buf_, other.buf_);
-    other.vt_ = nullptr;
+    relocate_from(other);
   }
 
   InplaceFunction& operator=(InplaceFunction&& other) noexcept {
     if (this == &other) return *this;
-    if (vt_ != nullptr) vt_->destroy(buf_);
+    destroy();
     vt_ = other.vt_;
-    if (vt_ != nullptr) vt_->relocate(buf_, other.buf_);
-    other.vt_ = nullptr;
+    relocate_from(other);
     return *this;
   }
 
   InplaceFunction(const InplaceFunction&) = delete;
   InplaceFunction& operator=(const InplaceFunction&) = delete;
 
-  ~InplaceFunction() {
-    if (vt_ != nullptr) vt_->destroy(buf_);
-  }
+  ~InplaceFunction() { destroy(); }
 
   R operator()(Args... args) {
     WMN_CHECK_NOTNULL(vt_, "invoking an empty InplaceFunction");
@@ -82,22 +100,50 @@ class InplaceFunction<R(Args...), Capacity> {
  private:
   struct VTable {
     R (*invoke)(void*, Args&&...);
-    // Move-construct into dst from src, then destroy src.
+    // Move-construct into dst from src, then destroy src. nullptr for
+    // trivially-relocatable callables: the scheduler's heap operations
+    // move every event several times, and the hot lambdas (a `this`
+    // pointer plus a slot index or key) are plain bits — for those a
+    // fixed-size memcpy beats an indirect call into per-type code.
     void (*relocate)(void* dst, void* src) noexcept;
-    void (*destroy)(void*) noexcept;
+    void (*destroy)(void*) noexcept;  // nullptr when trivially destructible
   };
+
+  template <typename Fn>
+  static constexpr bool is_trivially_relocatable =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
 
   template <typename Fn>
   static constexpr VTable vtable_for = {
       [](void* p, Args&&... args) -> R {
         return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
       },
-      [](void* dst, void* src) noexcept {
-        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
-        static_cast<Fn*>(src)->~Fn();
-      },
-      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+      is_trivially_relocatable<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+              static_cast<Fn*>(src)->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
   };
+
+  void relocate_from(InplaceFunction& other) noexcept {
+    if (vt_ == nullptr) return;
+    if (vt_->relocate != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+    } else {
+      // Fixed-size copy: lets the compiler inline a handful of wide
+      // moves instead of dispatching on the callable's type.
+      std::memcpy(buf_, other.buf_, Capacity);
+    }
+    other.vt_ = nullptr;
+  }
+
+  void destroy() noexcept {
+    if (vt_ != nullptr && vt_->destroy != nullptr) vt_->destroy(buf_);
+  }
 
   alignas(std::max_align_t) unsigned char buf_[Capacity];
   const VTable* vt_ = nullptr;

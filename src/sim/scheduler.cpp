@@ -1,43 +1,8 @@
 #include "sim/scheduler.hpp"
 
-#include <utility>
-
 #include "core/check.hpp"
 
 namespace wmn::sim {
-
-std::uint32_t Scheduler::acquire_slot() {
-  if (free_head_ != kNilSlot) {
-    const std::uint32_t slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    slots_[slot].next_free = kNilSlot;
-    return slot;
-  }
-  WMN_CHECK(slots_.size() < kNilSlot, "scheduler slot slab exhausted");
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
-}
-
-void Scheduler::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.fn = EventFn{};  // drop captures now, not when the entry surfaces
-  ++s.gen;           // invalidates every outstanding id / heap entry
-  s.next_free = free_head_;
-  free_head_ = slot;
-  --live_count_;
-}
-
-EventId Scheduler::schedule(Time at, EventFn fn) {
-  WMN_CHECK(!at.is_negative(), "events cannot be scheduled before t=0");
-  const std::uint64_t seq = ++next_seq_;  // ids start at 1; 0 = invalid
-  const std::uint32_t slot = acquire_slot();
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  heap_.push_back(Entry{at, seq, slot, s.gen});
-  sift_up(heap_.size() - 1);
-  ++live_count_;
-  return make_id(slot, s.gen);
-}
 
 void Scheduler::cancel(EventId id) {
   if (!id.valid()) return;
@@ -46,60 +11,12 @@ void Scheduler::cancel(EventId id) {
   release_slot(slot);  // heap entry goes stale; dropped when it surfaces
 }
 
-void Scheduler::drop_dead_top() {
-  while (!heap_.empty() && stale(heap_[0])) {
-    heap_[0] = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-  }
-}
-
-Time Scheduler::next_time() {
-  drop_dead_top();
-  return heap_.empty() ? Time::max() : heap_[0].at;
-}
-
-Scheduler::Fired Scheduler::pop() {
-  drop_dead_top();
-  WMN_CHECK(!heap_.empty(), "pop() on empty scheduler");
-  const Entry top = heap_[0];
-  Fired out{top.at, std::move(slots_[top.slot].fn)};
-  release_slot(top.slot);
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return out;
-}
-
 void Scheduler::clear() {
   for (const Entry& e : heap_) {
     if (!stale(e)) release_slot(e.slot);
   }
   heap_.clear();
   WMN_CHECK_EQ(live_count_, std::size_t{0}, "clear() left live slots");
-}
-
-void Scheduler::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
-  }
-}
-
-void Scheduler::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    std::size_t smallest = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
-  }
 }
 
 }  // namespace wmn::sim

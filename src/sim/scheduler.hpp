@@ -1,8 +1,12 @@
-// Binary-heap event calendar.
+// 4-ary-heap event calendar.
 //
 // Ordering is (timestamp, insertion sequence): two events scheduled for
 // the same instant execute in the order they were scheduled, which the
-// MAC layer relies on for deterministic slot resolution.
+// MAC layer relies on for deterministic slot resolution. The arity is a
+// pure layout choice — (time, seq) is a total order, so the pop
+// sequence is independent of heap shape; 4 children per node halves the
+// tree depth, and the extra sibling compares stay inside one cache line
+// of 24-byte entries.
 //
 // Storage: callables live in a slab of generation-tagged slots recycled
 // through a free list; the heap itself holds small (time, seq, slot,
@@ -19,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/check.hpp"
 #include "sim/event.hpp"
 #include "sim/time.hpp"
 
@@ -31,7 +36,13 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Insert an event at absolute time `at`. Returns a cancellable id.
-  EventId schedule(Time at, EventFn fn);
+  // Defined inline below: schedule/pop run once per simulated event,
+  // and keeping them visible to callers lets the fixed-size EventFn
+  // moves and the heap arithmetic fold into the call site. Templated
+  // on the callable so a lambda's captures are constructed directly in
+  // the calendar slot (no intermediate full-capacity EventFn copy).
+  template <typename F>
+  EventId schedule(Time at, F&& fn);
 
   // Remove a pending event; no-op on fired, cancelled, or invalid ids.
   // Releases the callable (and anything it captures) eagerly.
@@ -85,6 +96,7 @@ class Scheduler {
   };
 
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  static constexpr std::size_t kArity = 4;  // children per heap node
 
   // EventId layout: high 32 bits generation, low 32 bits slot + 1 (so
   // id 0 stays the invalid sentinel).
@@ -120,5 +132,97 @@ class Scheduler {
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 0;
 };
+
+// --- hot-path definitions (see the note on schedule() above) ---------
+
+inline std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  WMN_CHECK(slots_.size() < kNilSlot, "scheduler slot slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+inline void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = EventFn{};  // drop captures now, not when the entry surfaces
+  ++s.gen;           // invalidates every outstanding id / heap entry
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_count_;
+}
+
+// Both sifts move a hole instead of swapping: one 24-byte entry copy
+// per level plus one at the end, versus three per level for std::swap.
+inline void Scheduler::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+inline void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t smallest = first;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (later(heap_[smallest], heap_[c])) smallest = c;
+    }
+    if (!later(e, heap_[smallest])) break;
+    heap_[i] = heap_[smallest];
+    i = smallest;
+  }
+  heap_[i] = e;
+}
+
+inline void Scheduler::drop_dead_top() {
+  while (!heap_.empty() && stale(heap_[0])) {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+template <typename F>
+inline EventId Scheduler::schedule(Time at, F&& fn) {
+  WMN_CHECK(!at.is_negative(), "events cannot be scheduled before t=0");
+  const std::uint64_t seq = ++next_seq_;  // ids start at 1; 0 = invalid
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::forward<F>(fn);
+  heap_.push_back(Entry{at, seq, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_count_;
+  return make_id(slot, s.gen);
+}
+
+inline Time Scheduler::next_time() {
+  drop_dead_top();
+  return heap_.empty() ? Time::max() : heap_[0].at;
+}
+
+inline Scheduler::Fired Scheduler::pop() {
+  drop_dead_top();
+  WMN_CHECK(!heap_.empty(), "pop() on empty scheduler");
+  const Entry top = heap_[0];
+  Fired out{top.at, std::move(slots_[top.slot].fn)};
+  release_slot(top.slot);
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
 
 }  // namespace wmn::sim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/check.hpp"
 #include "sim/event.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -28,23 +29,48 @@ class Simulator {
   // --- scheduling ----------------------------------------------------
   // Schedule `fn` to run `delay` after the current time. Negative
   // delays are clamped to zero (run "now", after already-queued
-  // same-time events).
-  EventId schedule(Time delay, EventFn fn);
+  // same-time events). Inline and templated on the callable: this runs
+  // once per simulated event, and forwarding the lambda itself lets
+  // its captures be built directly in the calendar slot.
+  template <typename F>
+  EventId schedule(Time delay, F&& fn) {
+    if (delay.is_negative()) delay = Time::zero();
+    return calendar_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   // Schedule at an absolute timestamp; must not be in the past.
-  EventId schedule_at(Time at, EventFn fn);
+  template <typename F>
+  EventId schedule_at(Time at, F&& fn) {
+    WMN_CHECK_GE(at, now_, "cannot schedule in the past");
+    return calendar_.schedule(at, std::forward<F>(fn));
+  }
 
   void cancel(EventId id) { calendar_.cancel(id); }
   [[nodiscard]] bool pending(EventId id) const { return calendar_.pending(id); }
 
   // --- execution -----------------------------------------------------
   // Run until the calendar drains or stop() is called.
-  void run();
+  void run() { run_until(Time::max()); }
 
   // Run until the clock would pass `deadline`; events at exactly
   // `deadline` are executed. The clock finishes at
   // min(deadline, time of last event) unless stopped early.
-  void run_until(Time deadline);
+  void run_until(Time deadline) {
+    stopped_ = false;
+    while (!stopped_ && !calendar_.empty()) {
+      const Time t = calendar_.next_time();
+      if (t > deadline) {
+        now_ = deadline;
+        return;
+      }
+      auto fired = calendar_.pop();
+      WMN_CHECK_GE(fired.at, now_, "calendar must be monotone");
+      now_ = fired.at;
+      fired.fn();
+      ++events_executed_;
+    }
+    if (!stopped_ && deadline != Time::max() && now_ < deadline) now_ = deadline;
+  }
 
   // Request termination; takes effect before the next event dispatch.
   void stop() { stopped_ = true; }
