@@ -11,9 +11,9 @@
 // better-connected (hence more failure-tolerant) neighbourhoods.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F10", "PDR and recovery latency vs node churn");
+  const auto env = announce("F10", "PDR and recovery latency vs node churn", argc, argv);
 
   // Crash events per minute across the whole mesh; ~10 s mean downtime.
   const std::vector<double> churn_per_min{0.0, 2.0, 6.0, 12.0};
@@ -49,6 +49,7 @@ int main() {
           stats::Table::num(rate, 0) + "/min, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -69,6 +70,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f10_resilience.csv", sweep);
-  return 0;
+  return finish(table, "f10_resilience.csv", sweep, env);
 }

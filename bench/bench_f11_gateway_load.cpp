@@ -13,10 +13,10 @@
 // degrades gracefully.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
   const auto env =
-      announce("F11", "gateway aggregation: fairness vs session load");
+      announce("F11", "gateway aggregation: fairness vs session load", argc, argv);
 
   // Per-user session arrivals per second; offered load per source is
   // users * rate * mean_session_pkts * packet_bytes.
@@ -51,6 +51,7 @@ int main() {
           stats::Table::num(rate, 3) + " sess/u/s, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -84,6 +85,5 @@ int main() {
                0)});
     }
   }
-  finish(table, "f11_gateway_load.csv", sweep);
-  return 0;
+  return finish(table, "f11_gateway_load.csv", sweep, env);
 }

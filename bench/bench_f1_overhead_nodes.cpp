@@ -9,9 +9,9 @@
 // (and with it contention) rises.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F1", "RREQ transmissions per discovery vs nodes");
+  const auto env = announce("F1", "RREQ transmissions per discovery vs nodes", argc, argv);
 
   const std::vector<std::size_t> node_counts{50, 100, 150, 200};
   std::vector<std::string> cols{"nodes"};
@@ -33,6 +33,7 @@ int main() {
           std::to_string(n) + " nodes, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -45,6 +46,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f1_overhead_nodes.csv", sweep);
-  return 0;
+  return finish(table, "f1_overhead_nodes.csv", sweep, env);
 }

@@ -6,9 +6,9 @@
 // CLNLR holds its PDR.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F2", "packet delivery ratio vs nodes");
+  const auto env = announce("F2", "packet delivery ratio vs nodes", argc, argv);
 
   const std::vector<std::size_t> node_counts{50, 100, 150, 200};
   std::vector<std::string> cols{"nodes"};
@@ -30,6 +30,7 @@ int main() {
           std::to_string(n) + " nodes, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -42,6 +43,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f2_pdr_nodes.csv", sweep);
-  return 0;
+  return finish(table, "f2_pdr_nodes.csv", sweep, env);
 }

@@ -7,9 +7,9 @@
 // hotspots.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F3", "mean end-to-end delay vs offered load");
+  const auto env = announce("F3", "mean end-to-end delay vs offered load", argc, argv);
 
   const std::vector<double> rates{2.0, 4.0, 6.0, 8.0, 12.0};
   std::vector<std::string> cols{"pkt/s per flow"};
@@ -30,6 +30,7 @@ int main() {
           stats::Table::num(rate, 0) + " pkt/s, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -42,6 +43,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f3_delay_load.csv", sweep);
-  return 0;
+  return finish(table, "f3_delay_load.csv", sweep, env);
 }

@@ -6,9 +6,9 @@
 // gracefully past the knee.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F4", "aggregate throughput vs offered load");
+  const auto env = announce("F4", "aggregate throughput vs offered load", argc, argv);
 
   const std::vector<double> rates{2.0, 4.0, 6.0, 8.0, 12.0};
   std::vector<std::string> cols{"pkt/s per flow", "offered (kb/s)"};
@@ -29,6 +29,7 @@ int main() {
           stats::Table::num(rate, 0) + " pkt/s, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -47,6 +48,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f4_throughput_load.csv", sweep);
-  return 0;
+  return finish(table, "f4_throughput_load.csv", sweep, env);
 }

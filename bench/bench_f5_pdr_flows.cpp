@@ -6,9 +6,9 @@
 // every additional flow's discovery storms the same channel.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F5", "packet delivery ratio vs flow count");
+  const auto env = announce("F5", "packet delivery ratio vs flow count", argc, argv);
 
   const std::vector<std::size_t> flow_counts{5, 10, 15, 20, 25};
   std::vector<std::string> cols{"flows"};
@@ -30,6 +30,7 @@ int main() {
           std::to_string(flows) + " flows, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -42,6 +43,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f5_pdr_flows.csv", sweep);
-  return 0;
+  return finish(table, "f5_pdr_flows.csv", sweep, env);
 }

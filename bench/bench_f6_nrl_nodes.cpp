@@ -6,9 +6,9 @@
 // with density; CLNLR's stays lowest and flattest.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F6", "normalized routing load vs nodes");
+  const auto env = announce("F6", "normalized routing load vs nodes", argc, argv);
 
   const std::vector<std::size_t> node_counts{50, 100, 150, 200};
   std::vector<std::string> cols{"nodes"};
@@ -31,6 +31,7 @@ int main() {
           std::to_string(n) + " nodes, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -45,6 +46,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f6_nrl_nodes.csv", sweep);
-  return 0;
+  return finish(table, "f6_nrl_nodes.csv", sweep, env);
 }

@@ -8,9 +8,9 @@
 // exactly this trade).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F7", "PDR and overhead vs max node speed (RWP)");
+  const auto env = announce("F7", "PDR and overhead vs max node speed (RWP)", argc, argv);
 
   const std::vector<double> speeds{0.0, 5.0, 10.0, 20.0};
   std::vector<std::string> cols{"max speed (m/s)"};
@@ -34,6 +34,7 @@ int main() {
           stats::Table::num(speed, 0) + " m/s, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -55,6 +56,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f7_mobility.csv", sweep);
-  return 0;
+  return finish(table, "f7_mobility.csv", sweep, env);
 }

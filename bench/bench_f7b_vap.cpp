@@ -7,9 +7,9 @@
 // (built from slower nodes) break less often per delivered packet.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F7b", "velocity-aware discovery vs mobility");
+  const auto env = announce("F7b", "velocity-aware discovery vs mobility", argc, argv);
 
   const std::vector<core::Protocol> protocols{
       core::Protocol::kAodvFlood, core::Protocol::kAodvGossip,
@@ -37,6 +37,7 @@ int main() {
           stats::Table::num(speed, 0) + " m/s, " + core::protocol_name(p)));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -53,6 +54,5 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  finish(table, "f7b_vap_mobility.csv", sweep);
-  return 0;
+  return finish(table, "f7b_vap_mobility.csv", sweep, env);
 }

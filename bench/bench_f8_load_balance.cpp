@@ -8,9 +8,9 @@
 // selection spreads forwarding across parallel paths.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F8", "forwarding-load balance, gateway traffic");
+  const auto env = announce("F8", "forwarding-load balance, gateway traffic", argc, argv);
 
   stats::Table table({"protocol", "Jain (active)", "peak/mean", "active nodes",
                       "PDR", "delay (ms)", "fwd total"});
@@ -26,6 +26,7 @@ int main() {
     cfg.protocol = p;
     cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -55,6 +56,5 @@ int main() {
                      [](const exp::RunMetrics& m) { return m.mean_delay_ms; }, 0),
          stats::Table::num(fwd_total, 0)});
   }
-  finish(table, "f8_load_balance.csv", sweep);
-  return 0;
+  return finish(table, "f8_load_balance.csv", sweep, env);
 }

@@ -7,9 +7,9 @@
 // most expensive.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("F9", "energy per delivered kilobit");
+  const auto env = announce("F9", "energy per delivered kilobit", argc, argv);
 
   stats::Table table({"protocol", "total J", "J/node", "mJ/kbit", "PDR"});
 
@@ -21,6 +21,7 @@ int main() {
     cfg.protocol = p;
     cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -38,6 +39,5 @@ int main() {
              1),
          exp::ci_str(reps, [](const exp::RunMetrics& m) { return m.pdr; }, 3)});
   }
-  finish(table, "f9_energy.csv", sweep);
-  return 0;
+  return finish(table, "f9_energy.csv", sweep, env);
 }

@@ -3,9 +3,9 @@
 // the protocols differentiate). All six protocols including ablations.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("T2", "protocol summary at the reference point");
+  const auto env = announce("T2", "protocol summary at the reference point", argc, argv);
 
   stats::Table table({"protocol", "PDR", "delay (ms)", "thpt (kb/s)",
                       "RREQ/disc", "NRL", "collisions", "q-drops"});
@@ -18,6 +18,7 @@ int main() {
     cfg.protocol = p;
     cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -47,6 +48,5 @@ int main() {
              },
              0)});
   }
-  finish(table, "t2_summary.csv", sweep);
-  return 0;
+  return finish(table, "t2_summary.csv", sweep, env);
 }

@@ -9,9 +9,9 @@
 // gains under load; the full protocol combines both.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("T3", "CLNLR ablation at the reference point");
+  const auto env = announce("T3", "CLNLR ablation at the reference point", argc, argv);
 
   const std::vector<core::Protocol> protocols{
       core::Protocol::kAodvFlood, core::Protocol::kClnlrRdOnly,
@@ -28,6 +28,7 @@ int main() {
     cfg.protocol = p;
     cells.push_back(sweep.add_cell(cfg, env.reps, core::protocol_name(p)));
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -57,6 +58,5 @@ int main() {
          exp::ci_str(reps,
                      [](const exp::RunMetrics& m) { return m.avg_path_hops; }, 1)});
   }
-  finish(table, "t3_ablation.csv", sweep);
-  return 0;
+  return finish(table, "t3_ablation.csv", sweep, env);
 }

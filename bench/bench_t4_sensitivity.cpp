@@ -10,9 +10,9 @@
 // All at the reference congestion point (100 nodes, 10 flows, 6 pkt/s).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("T4", "CLNLR design-choice sensitivity");
+  const auto env = announce("T4", "CLNLR design-choice sensitivity", argc, argv);
 
   stats::Table table({"variant", "PDR", "delay (ms)", "RREQ tx", "NRL",
                       "collisions"});
@@ -60,6 +60,7 @@ int main() {
     add("AODV-BF + expanding-ring", cfg);
   }
 
+  setup_supervision(sweep, env);
   sweep.run();
 
   // Phase 2: render one row per variant.
@@ -85,6 +86,5 @@ int main() {
              0)});
   }
 
-  finish(table, "t4_sensitivity.csv", sweep);
-  return 0;
+  return finish(table, "t4_sensitivity.csv", sweep, env);
 }

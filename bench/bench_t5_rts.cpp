@@ -8,9 +8,9 @@
 // or slightly lower PDR/throughput.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmnbench;
-  const auto env = announce("T5", "RTS/CTS on/off at the congestion point");
+  const auto env = announce("T5", "RTS/CTS on/off at the congestion point", argc, argv);
 
   stats::Table table({"variant", "PDR", "delay (ms)", "thpt (kb/s)",
                       "MAC retries", "collisions"});
@@ -31,6 +31,7 @@ int main() {
           core::protocol_name(p) + (rts ? " +RTS/CTS" : " (basic)")));
     }
   }
+  setup_supervision(sweep, env);
   sweep.run();
 
   auto cell = cells.cbegin();
@@ -59,6 +60,5 @@ int main() {
                0)});
     }
   }
-  finish(table, "t5_rts.csv", sweep);
-  return 0;
+  return finish(table, "t5_rts.csv", sweep, env);
 }

@@ -7,12 +7,27 @@
 // a replication that trips an invariant (or throws) becomes a failed
 // slot in the sweep report instead of killing the campaign.
 //
+// Supervision & resume (docs/TOOLING.md, "Run supervision & resume"):
+// every sweep bench journals completed slots to
+// ${WMN_RESULTS_DIR:-results}/JOURNAL_<id>.jsonl and exits non-zero
+// when any slot failed, unless --allow-partial / WMN_ALLOW_PARTIAL
+// says a partial campaign is acceptable. A rerun with --resume /
+// WMN_RESUME re-executes only the missing slots.
+//
 // Environment knobs:
-//   WMN_REPS=N    replications per point (default 2)
-//   WMN_THREADS=N worker threads (default: hardware concurrency)
-//   WMN_QUICK=1   shrink traffic time for smoke runs
+//   WMN_REPS=N          replications per point (default 2)
+//   WMN_THREADS=N       worker threads (default: hardware concurrency)
+//   WMN_QUICK=1         shrink traffic time for smoke runs
+//   WMN_DEADLINE_S=X    wall-clock watchdog per replication
+//   WMN_RETRIES=N       transient-failure retries (same seed)
+//   WMN_SWEEP_EVENT_BUDGET=N  cumulative event ceiling for the sweep
+//   WMN_RESUME=1        resume from the journal
+//   WMN_ALLOW_PARTIAL=1 exit 0 despite failed slots
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -48,20 +63,48 @@ inline exp::ScenarioConfig base_config() {
 }
 
 struct BenchEnv {
-  std::size_t reps;
-  unsigned threads;
+  std::string id;  // bench identifier ("F2", ...) — names the journal
+  std::size_t reps = 2;
+  unsigned threads = 1;
+  bool allow_partial = false;  // --allow-partial / WMN_ALLOW_PARTIAL
+  bool resume = false;         // --resume / WMN_RESUME
 };
 
-inline BenchEnv announce(const std::string& id, const std::string& title) {
+inline BenchEnv announce(const std::string& id, const std::string& title,
+                         int argc = 0, char** argv = nullptr) {
   // Long campaigns: one bad replication taints its own slot instead of
   // aborting the binary (docs/TOOLING.md, "Crash-safe sweeps").
   core::set_check_policy(core::CheckPolicy::kLogAndCount);
-  BenchEnv env{exp::env_reps(2), exp::env_threads()};
+  BenchEnv env;
+  env.id = id;
+  env.reps = exp::env_reps(2);
+  env.threads = exp::env_threads();
+  // Harness switches, not simulation inputs (same contract as WMN_REPS).
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
+  env.allow_partial = std::getenv("WMN_ALLOW_PARTIAL") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      env.allow_partial = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      env.resume = true;
+    } else {
+      std::fprintf(stderr, "[wmn] %s: unknown flag '%s' ignored\n", id.c_str(),
+                   argv[i]);
+    }
+  }
   std::cout << "\n=== " << id << ": " << title << " ===\n"
             << "(replications per point: " << env.reps
             << ", threads: " << env.threads
             << "; values are mean +-95% CI half-width)\n\n";
   return env;
+}
+
+// Arm the sweep's supervision from the environment and point its
+// checkpoint journal at results/JOURNAL_<id>.jsonl. Call after every
+// add_cell(), before run().
+inline void setup_supervision(exp::SweepEngine& sweep, const BenchEnv& env) {
+  exp::apply_supervision_env(sweep, results_path("JOURNAL_" + env.id + ".jsonl"),
+                             env.resume);
 }
 
 inline void finish(const stats::Table& table, const std::string& csv_name) {
@@ -75,18 +118,61 @@ inline void finish(const stats::Table& table, const std::string& csv_name) {
   std::cout.flush();
 }
 
-// Sweep-aware variant: also surfaces failed replication slots, so a
-// crashed or tainted worker is visible right next to the table it was
-// excluded from.
-inline void finish(const stats::Table& table, const std::string& csv_name,
-                   const exp::SweepEngine& sweep) {
+// Machine-readable sweep summary (SWEEP_<id>.json): slot totals and the
+// per-FailureKind taxonomy counts CI folds into its step summary.
+inline void write_sweep_summary(const exp::SweepEngine& sweep,
+                                const BenchEnv& env) {
+  const std::string path = results_path("SWEEP_" + env.id + ".json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[wmn] cannot write sweep summary %s\n", path.c_str());
+    return;
+  }
+  const exp::FailureCounts counts = sweep.failure_counts();
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"slots\":%zu,\"failed\":%zu,"
+               "\"resumed\":%zu,\"counts\":{",
+               env.id.c_str(), sweep.task_count(), sweep.failed_count(),
+               sweep.resumed_count());
+  for (std::size_t k = 0; k < exp::kFailureKindCount; ++k) {
+    std::fprintf(f, "%s\"%s\":%zu", k == 0 ? "" : ",",
+                 exp::failure_kind_name(static_cast<exp::FailureKind>(k)),
+                 counts[k]);
+  }
+  std::fprintf(f, "}}\n");
+  std::fclose(f);
+  std::cout << "[sweep summary written: " << path << "]\n";
+}
+
+// Sweep-aware variant: surfaces failed replication slots next to the
+// table they were excluded from, writes the taxonomy summary, and
+// returns the bench's exit code — non-zero on any failed slot unless
+// partial results were explicitly accepted, so a quietly degraded
+// campaign can never look green in CI.
+[[nodiscard]] inline int finish(const stats::Table& table,
+                                const std::string& csv_name,
+                                const exp::SweepEngine& sweep,
+                                const BenchEnv& env) {
   finish(table, csv_name);
-  if (const std::size_t failed = sweep.failed_count(); failed > 0) {
+  if (const std::size_t resumed = sweep.resumed_count(); resumed > 0) {
+    std::cout << "[resumed " << resumed << " slot(s) from the journal]\n";
+  }
+  write_sweep_summary(sweep, env);
+  const std::size_t failed = sweep.failed_count();
+  if (failed > 0) {
     std::cout << "\n[WARNING: " << failed << " of " << sweep.task_count()
               << " replication(s) failed; their slots are excluded above]\n"
               << sweep.failure_report();
     std::cout.flush();
+    if (!env.allow_partial) {
+      std::cout << "[exiting non-zero: pass --allow-partial or set "
+                   "WMN_ALLOW_PARTIAL=1 to accept a partial campaign]\n";
+      std::cout.flush();
+      return 1;
+    }
   }
+  std::cout.flush();
+  return 0;
 }
 
 }  // namespace wmnbench

@@ -19,7 +19,15 @@
 //   --users N          users aggregated per source  (sessions; default 1000)
 //   --session-rate R   session arrivals per user/s  (sessions; default 0.002)
 //   --arrival-gap T    mean flow-arrival gap in s, 0=all flows at start
+//   --envelope SPEC    piecewise-linear arrival-rate envelope over the
+//                      traffic window, as t:mult comma pairs, e.g.
+//                      "0:1,10:1,12:8,20:8,22:1" for a flash crowd
+//                      (scales session arrivals and --arrival-gap)
 //   --seconds T        traffic time                 (default 30)
+//   --event-budget N   abort (exit 3) after N simulated events —
+//                      deterministic runaway guard
+//   --deadline T       wall-clock watchdog: cancel the run after T
+//                      seconds (exit 4)
 //   --seed X           master seed                  (default 1)
 //   --rts B            RTS threshold bytes          (default off)
 //   --churn R          router crashes per minute (seeded Poisson churn
@@ -30,11 +38,19 @@
 //                      (results are bit-identical; diagnostic only)
 //   --timeseries FILE  write 1 Hz network time series CSV
 //   --flows-csv FILE   write per-flow results CSV
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "sim/cancel_token.hpp"
+
+#include "exp/failure.hpp"
 #include "exp/scenario.hpp"
+#include "exp/supervision.hpp"
 #include "exp/timeseries.hpp"
 #include "stats/table.hpp"
 
@@ -51,6 +67,36 @@ wmn::core::Protocol parse_protocol(const std::string& name) {
   if (name == "clnlr-rs") return Protocol::kClnlrRsOnly;
   std::cerr << "unknown protocol '" << name << "', using clnlr\n";
   return Protocol::kClnlr;
+}
+
+// "0:1,10:1,12:8" -> {(0,1),(10,1),(12,8)}; empty on malformed input.
+std::vector<std::pair<double, double>> parse_envelope(const std::string& spec) {
+  std::vector<std::pair<double, double>> knots;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string knot =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    const std::size_t colon = knot.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "malformed --envelope knot '" << knot
+                << "' (want t:mult); envelope ignored\n";
+      return {};
+    }
+    char* end = nullptr;
+    const double t = std::strtod(knot.c_str(), &end);
+    const double m = std::strtod(knot.c_str() + colon + 1, nullptr);
+    if (end != knot.c_str() + colon) {
+      std::cerr << "malformed --envelope time in '" << knot
+                << "'; envelope ignored\n";
+      return {};
+    }
+    knots.emplace_back(t, m);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return knots;
 }
 
 wmn::exp::TrafficSpec::Model parse_traffic_model(const std::string& name) {
@@ -74,6 +120,7 @@ int main(int argc, char** argv) {
   cfg.traffic_time = sim::Time::seconds(30.0);
   std::string timeseries_path;
   std::string flows_path;
+  double deadline_s = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -106,8 +153,14 @@ int main(int argc, char** argv) {
       cfg.traffic.session_rate_per_user_per_s = next(0.002);
     } else if (a == "--arrival-gap") {
       cfg.traffic.mean_arrival_gap_s = next(0);
+    } else if (a == "--envelope" && i + 1 < argc) {
+      cfg.traffic.rate_envelope = parse_envelope(argv[++i]);
     } else if (a == "--seconds") {
       cfg.traffic_time = sim::Time::seconds(next(30));
+    } else if (a == "--event-budget") {
+      cfg.event_budget = static_cast<std::uint64_t>(next(0));
+    } else if (a == "--deadline") {
+      deadline_s = next(0);
     } else if (a == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(next(1));
     } else if (a == "--rts") {
@@ -158,7 +211,27 @@ int main(int argc, char** argv) {
             << cfg.traffic.n_flows << " flows @ " << cfg.traffic.rate_pps
             << " pkt/s, protocol " << core::protocol_name(cfg.protocol)
             << ", seed " << cfg.seed << "\n";
-  scenario.run();
+
+  // Optional run supervision (docs/TOOLING.md, "Run supervision &
+  // resume"): the event budget aborts deterministically inside the
+  // kernel; the wall-clock watchdog lives out here in the harness and
+  // only ever flips a cooperative cancel token.
+  sim::CancelToken cancel;
+  exp::Watchdog watchdog;
+  exp::Watchdog::Lease lease;
+  if (deadline_s > 0.0) {
+    scenario.set_cancel_token(&cancel);
+    lease = watchdog.watch(cancel, deadline_s);
+  }
+  try {
+    scenario.run();
+  } catch (const exp::RunAborted& e) {
+    lease.release();
+    std::cerr << "[aborted: " << exp::failure_kind_name(e.kind()) << "] "
+              << e.what() << "\n";
+    return e.kind() == exp::FailureKind::kEventBudgetExhausted ? 3 : 4;
+  }
+  lease.release();
   const exp::RunMetrics m = scenario.metrics();
 
   stats::Table t({"metric", "value"});

@@ -1,0 +1,488 @@
+#include "exp/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/scenario.hpp"
+#include "sim/fingerprint.hpp"
+
+namespace wmn::exp {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Config digest
+// ---------------------------------------------------------------------
+
+void mix_time(sim::Fingerprint& fp, sim::Time t) {
+  fp.mix(static_cast<std::uint64_t>(t.ns()));
+}
+
+void mix_protocol_options(sim::Fingerprint& fp,
+                          const core::ProtocolOptions& o) {
+  fp.mix(o.gossip_p);
+  fp.mix(std::uint64_t{o.counter_threshold});
+
+  fp.mix(o.clnlr.p_min);
+  fp.mix(o.clnlr.p_max);
+  fp.mix(o.clnlr.load_weight);
+  fp.mix(o.clnlr.density_weight);
+  fp.mix(o.clnlr.density_gate);
+  fp.mix(o.clnlr.degree_ref);
+  fp.mix(std::uint64_t{o.clnlr.sparse_degree});
+  fp.mix(std::uint64_t{o.clnlr.always_forward_hops});
+  mix_time(fp, o.clnlr.base_jitter);
+  fp.mix(o.clnlr.load_jitter_factor);
+
+  fp.mix(o.vap.p_min);
+  fp.mix(o.vap.v_ref_mps);
+  fp.mix(std::uint64_t{o.vap.sparse_degree});
+  fp.mix(std::uint64_t{o.vap.always_forward_hops});
+  mix_time(fp, o.vap.max_jitter);
+
+  fp.mix(o.load_index.weight_queue);
+  fp.mix(o.load_index.weight_busy);
+  fp.mix(o.load_index.weight_retry);
+  mix_time(fp, o.load_index.queue_sample_interval);
+  fp.mix(o.load_index.queue_ewma_alpha);
+
+  const routing::AodvConfig& a = o.aodv;
+  mix_time(fp, a.hello_interval);
+  fp.mix(std::uint64_t{a.allowed_hello_loss});
+  mix_time(fp, a.active_route_timeout);
+  mix_time(fp, a.rreq_cache_timeout);
+  fp.mix(std::uint64_t{a.rreq_retries});
+  mix_time(fp, a.net_traversal_time);
+  fp.mix(std::uint64_t{a.rreq_ttl});
+  fp.mix(static_cast<std::uint64_t>(a.expanding_ring ? 1 : 0));
+  fp.mix(std::uint64_t{a.ers_ttl_start});
+  fp.mix(std::uint64_t{a.ers_ttl_increment});
+  fp.mix(std::uint64_t{a.ers_ttl_threshold});
+  fp.mix(std::uint64_t{a.data_ttl});
+  fp.mix(static_cast<std::uint64_t>(a.buffer_capacity));
+  mix_time(fp, a.buffer_timeout);
+  mix_time(fp, a.housekeeping_interval);
+  mix_time(fp, a.dead_route_retention);
+  fp.mix(static_cast<std::uint64_t>(a.use_load_metric ? 1 : 0));
+  fp.mix(static_cast<std::uint64_t>(a.hello_carries_load ? 1 : 0));
+  fp.mix(a.nbhd_self_weight);
+  fp.mix(static_cast<std::uint64_t>(a.local_repair ? 1 : 0));
+  fp.mix(std::uint64_t{a.local_repair_max_dest_hops});
+  fp.mix(std::uint64_t{a.local_repair_ttl_slack});
+  fp.mix(static_cast<std::uint64_t>(a.rrep_blacklist ? 1 : 0));
+  mix_time(fp, a.blacklist_timeout);
+  fp.mix(static_cast<std::uint64_t>(a.rerr_to_precursors ? 1 : 0));
+}
+
+void mix_traffic(sim::Fingerprint& fp, const TrafficSpec& t) {
+  fp.mix(static_cast<std::uint64_t>(t.pattern));
+  fp.mix(static_cast<std::uint64_t>(t.model));
+  fp.mix(static_cast<std::uint64_t>(t.n_flows));
+  fp.mix(t.rate_pps);
+  fp.mix(std::uint64_t{t.packet_bytes});
+  fp.mix(static_cast<std::uint64_t>(t.n_gateways));
+  fp.mix(t.mean_on_s);
+  fp.mix(t.mean_off_s);
+  fp.mix(t.pareto_shape);
+  fp.mix(std::uint64_t{t.users_per_node});
+  fp.mix(t.session_rate_per_user_per_s);
+  fp.mix(t.session_rate_pps);
+  fp.mix(t.mean_session_pkts);
+  fp.mix(std::uint64_t{t.max_active_sessions});
+  fp.mix(t.mean_arrival_gap_s);
+  fp.mix(static_cast<std::uint64_t>(t.rate_envelope.size()));
+  for (const auto& [at_s, mult] : t.rate_envelope) {
+    fp.mix(at_s);
+    fp.mix(mult);
+  }
+}
+
+void mix_fault(sim::Fingerprint& fp, const fault::FaultPlan& f) {
+  fp.mix(static_cast<std::uint64_t>(f.outages.size()));
+  for (const fault::NodeOutage& o : f.outages) {
+    fp.mix(std::uint64_t{o.node});
+    mix_time(fp, o.down_at);
+    mix_time(fp, o.up_at);
+  }
+  fp.mix(static_cast<std::uint64_t>(f.blackouts.size()));
+  for (const fault::LinkBlackout& b : f.blackouts) {
+    fp.mix(std::uint64_t{b.a});
+    fp.mix(std::uint64_t{b.b});
+    mix_time(fp, b.from);
+    mix_time(fp, b.to);
+    fp.mix(b.attenuation_db);
+    fp.mix(static_cast<std::uint64_t>(b.bidirectional ? 1 : 0));
+  }
+  fp.mix(f.churn.rate_per_s);
+  mix_time(fp, f.churn.mean_downtime);
+  mix_time(fp, f.churn.start);
+  mix_time(fp, f.churn.stop);
+}
+
+// ---------------------------------------------------------------------
+// Field enumeration — single source of truth for writer AND parser, so
+// a RunMetrics field added here can never silently drop out of one
+// side. (A field added to RunMetrics but not here fails the resume
+// tests: the recomputed fingerprint matches but the aggregate diff
+// catches the zeroed field.)
+// ---------------------------------------------------------------------
+
+#define WMN_JOURNAL_U64_FIELDS(X) \
+  X(seed)                         \
+  X(data_sent)                    \
+  X(data_delivered)               \
+  X(rreq_tx)                      \
+  X(rrep_tx)                      \
+  X(rerr_tx)                      \
+  X(hello_tx)                     \
+  X(control_tx)                   \
+  X(rreq_suppressed)              \
+  X(discoveries)                  \
+  X(discoveries_failed)           \
+  X(mac_queue_drops)              \
+  X(mac_retry_drops)              \
+  X(mac_retries)                  \
+  X(phy_collisions)               \
+  X(forwarding_active_nodes)      \
+  X(gateway_count)                \
+  X(sessions_started)             \
+  X(sessions_completed)           \
+  X(sessions_rejected)            \
+  X(fault_crashes)                \
+  X(fault_rejoins)                \
+  X(fault_blackouts)              \
+  X(sent_during_outage)           \
+  X(delivered_during_outage)      \
+  X(local_repairs_attempted)      \
+  X(local_repairs_succeeded)      \
+  X(route_recoveries)             \
+  X(route_recoveries_abandoned)   \
+  X(flows_stranded)               \
+  X(check_violations)
+
+#define WMN_JOURNAL_F64_FIELDS(X) \
+  X(pdr)                          \
+  X(mean_delay_ms)                \
+  X(mean_jitter_ms)               \
+  X(throughput_kbps)              \
+  X(rreq_per_discovery)           \
+  X(nrl)                          \
+  X(nrl_on_demand)                \
+  X(mean_busy_ratio)              \
+  X(forwarding_jain)              \
+  X(forwarding_peak_to_mean)      \
+  X(gateway_jain)                 \
+  X(gateway_load_variance)        \
+  X(total_energy_j)               \
+  X(mean_node_energy_j)           \
+  X(energy_mj_per_kbit)           \
+  X(avg_path_hops)                \
+  X(fault_downtime_s)             \
+  X(pdr_during_outage)            \
+  X(pdr_outside_outage)           \
+  X(route_recovery_mean_ms)       \
+  X(sim_event_count)              \
+  X(wall_seconds)
+
+#define WMN_JOURNAL_VEC_FIELDS(X) \
+  X(per_node_forwarded)           \
+  X(per_gateway_delivered)
+
+// ---------------------------------------------------------------------
+// Serialization primitives
+// ---------------------------------------------------------------------
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", v);
+  out += buf;
+}
+
+// Hexfloat round-trips every finite double bit-exactly through strtod;
+// that exactness is what makes "resumed == uninterrupted" literal.
+void append_f64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "\"%a\"", v);
+  out += buf;
+}
+
+// ---------------------------------------------------------------------
+// Parsing — a deliberately small scanner for exactly the flat JSON the
+// writer emits: {"key":value,...} with values that are unsigned
+// decimals, quoted strings, or arrays of quoted strings. Anything else
+// (truncation mid-line, binary garbage, an unknown shape) returns
+// nullopt and the caller re-runs the slot.
+// ---------------------------------------------------------------------
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  [[nodiscard]] bool done() const { return p >= end; }
+  [[nodiscard]] bool accept(char c) {
+    if (done() || *p != c) return false;
+    ++p;
+    return true;
+  }
+};
+
+bool scan_quoted(Cursor& c, std::string_view& out) {
+  if (!c.accept('"')) return false;
+  const char* start = c.p;
+  while (!c.done() && *c.p != '"') ++c.p;
+  if (c.done()) return false;
+  out = std::string_view(start, static_cast<std::size_t>(c.p - start));
+  ++c.p;  // closing quote
+  return true;
+}
+
+bool scan_u64(Cursor& c, std::uint64_t& out) {
+  const char* start = c.p;
+  while (!c.done() && *c.p >= '0' && *c.p <= '9') ++c.p;
+  if (c.p == start || c.p - start > 20) return false;
+  out = 0;
+  for (const char* q = start; q != c.p; ++q) {
+    out = out * 10 + static_cast<std::uint64_t>(*q - '0');
+  }
+  return true;
+}
+
+bool parse_hexfloat(std::string_view s, double& out) {
+  char buf[48];
+  if (s.empty() || s.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* endp = nullptr;
+  out = std::strtod(buf, &endp);
+  return endp == buf + s.size();
+}
+
+bool parse_hex64(std::string_view s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  out = 0;
+  for (const char ch : s) {
+    std::uint64_t digit = 0;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<std::uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<std::uint64_t>(ch - 'a') + 10;
+    } else {
+      return false;
+    }
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t config_digest(const ScenarioConfig& cfg) {
+  sim::Fingerprint fp;
+  fp.mix(std::uint64_t{0xC0F1'6D16'0000'0000ULL});  // domain tag
+  fp.mix(std::uint64_t{kJournalVersion});
+
+  fp.mix(static_cast<std::uint64_t>(cfg.n_nodes));
+  fp.mix(cfg.area_width_m);
+  fp.mix(cfg.area_height_m);
+  fp.mix(static_cast<std::uint64_t>(cfg.placement));
+  fp.mix(cfg.placement_jitter_m);
+
+  fp.mix(cfg.mobility.min_speed_mps);
+  fp.mix(cfg.mobility.max_speed_mps);
+  mix_time(fp, cfg.mobility.pause);
+
+  mix_traffic(fp, cfg.traffic);
+
+  fp.mix(static_cast<std::uint64_t>(cfg.protocol));
+  mix_protocol_options(fp, cfg.options);
+
+  const phy::PhyConfig& p = cfg.phy;
+  fp.mix(p.tx_power_dbm);
+  fp.mix(p.bit_rate_bps);
+  mix_time(fp, p.preamble);
+  fp.mix(p.noise_floor_dbm);
+  fp.mix(p.rx_sensitivity_dbm);
+  fp.mix(p.cca_threshold_dbm);
+  fp.mix(p.detection_floor_dbm);
+  fp.mix(p.sinr_threshold_db);
+  fp.mix(p.power_tx_w);
+  fp.mix(p.power_rx_w);
+  fp.mix(p.power_idle_w);
+
+  const mac::MacConfig& m = cfg.mac;
+  mix_time(fp, m.slot);
+  mix_time(fp, m.sifs);
+  fp.mix(std::uint64_t{m.cw_min});
+  fp.mix(std::uint64_t{m.cw_max});
+  fp.mix(std::uint64_t{m.retry_limit});
+  fp.mix(static_cast<std::uint64_t>(m.queue_capacity));
+  mix_time(fp, m.ack_timeout_slack);
+  fp.mix(std::uint64_t{m.rts_threshold_bytes});
+  mix_time(fp, m.cts_timeout_slack);
+
+  fp.mix(cfg.shadowing_sigma_db);
+  mix_fault(fp, cfg.fault);
+
+  mix_time(fp, cfg.warmup);
+  mix_time(fp, cfg.traffic_time);
+  mix_time(fp, cfg.drain);
+  fp.mix(cfg.seed);
+  fp.mix(cfg.event_budget);
+  fp.mix(static_cast<std::uint64_t>(cfg.spatial_index ? 1 : 0));
+  return fp.digest();
+}
+
+std::string journal_line(const JournalRecord& rec) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"v\":";
+  append_u64(out, static_cast<std::uint64_t>(kJournalVersion));
+  out += ",\"cell\":";
+  append_u64(out, rec.cell);
+  out += ",\"rep\":";
+  append_u64(out, rec.rep);
+  out += ",\"cfg\":";
+  append_hex64(out, rec.cfg_digest);
+  out += ",\"fp\":";
+  append_hex64(out, rec.fingerprint);
+
+  const RunMetrics& met = rec.metrics;
+#define WMN_X(field)        \
+  out += ",\"" #field "\":"; \
+  append_u64(out, met.field);
+  WMN_JOURNAL_U64_FIELDS(WMN_X)
+#undef WMN_X
+#define WMN_X(field)        \
+  out += ",\"" #field "\":"; \
+  append_f64(out, met.field);
+  WMN_JOURNAL_F64_FIELDS(WMN_X)
+#undef WMN_X
+  out += ",\"fault_enabled\":";
+  append_u64(out, met.fault_enabled ? 1 : 0);
+#define WMN_X(field)                                 \
+  out += ",\"" #field "\":[";                        \
+  for (std::size_t i = 0; i < met.field.size(); ++i) { \
+    if (i != 0) out += ',';                          \
+    append_f64(out, met.field[i]);                   \
+  }                                                  \
+  out += ']';
+  WMN_JOURNAL_VEC_FIELDS(WMN_X)
+#undef WMN_X
+  out += '}';
+  return out;
+}
+
+std::optional<JournalRecord> parse_journal_line(std::string_view line) {
+  JournalRecord rec;
+  Cursor c{line.data(), line.data() + line.size()};
+  if (!c.accept('{')) return std::nullopt;
+
+  // Presence tracking: every field the writer emits must appear exactly
+  // once, or the line is damaged.
+  bool have_v = false, have_cell = false, have_rep = false;
+  bool have_cfg = false, have_fp = false, have_fault_enabled = false;
+#define WMN_X(field) bool have_##field = false;
+  WMN_JOURNAL_U64_FIELDS(WMN_X)
+  WMN_JOURNAL_F64_FIELDS(WMN_X)
+  WMN_JOURNAL_VEC_FIELDS(WMN_X)
+#undef WMN_X
+
+  bool first = true;
+  while (true) {
+    if (c.accept('}')) break;
+    if (!first && !c.accept(',')) return std::nullopt;
+    first = false;
+
+    std::string_view key;
+    if (!scan_quoted(c, key)) return std::nullopt;
+    if (!c.accept(':')) return std::nullopt;
+
+    if (key == "v") {
+      std::uint64_t v = 0;
+      if (!scan_u64(c, v)) return std::nullopt;
+      if (v != static_cast<std::uint64_t>(kJournalVersion)) {
+        return std::nullopt;
+      }
+      have_v = true;
+    } else if (key == "cell") {
+      if (!scan_u64(c, rec.cell)) return std::nullopt;
+      have_cell = true;
+    } else if (key == "rep") {
+      if (!scan_u64(c, rec.rep)) return std::nullopt;
+      have_rep = true;
+    } else if (key == "cfg" || key == "fp") {
+      std::string_view s;
+      std::uint64_t v = 0;
+      if (!scan_quoted(c, s) || !parse_hex64(s, v)) return std::nullopt;
+      (key == "cfg" ? rec.cfg_digest : rec.fingerprint) = v;
+      (key == "cfg" ? have_cfg : have_fp) = true;
+    } else if (key == "fault_enabled") {
+      std::uint64_t v = 0;
+      if (!scan_u64(c, v) || v > 1) return std::nullopt;
+      rec.metrics.fault_enabled = v != 0;
+      have_fault_enabled = true;
+    }
+#define WMN_X(field)                                     \
+    else if (key == #field) {                            \
+      if (!scan_u64(c, rec.metrics.field)) return std::nullopt; \
+      have_##field = true;                               \
+    }
+    WMN_JOURNAL_U64_FIELDS(WMN_X)
+#undef WMN_X
+#define WMN_X(field)                                     \
+    else if (key == #field) {                            \
+      std::string_view s;                                \
+      if (!scan_quoted(c, s)) return std::nullopt;       \
+      if (!parse_hexfloat(s, rec.metrics.field)) return std::nullopt; \
+      have_##field = true;                               \
+    }
+    WMN_JOURNAL_F64_FIELDS(WMN_X)
+#undef WMN_X
+#define WMN_X(field)                                     \
+    else if (key == #field) {                            \
+      if (!c.accept('[')) return std::nullopt;           \
+      if (!c.accept(']')) {                              \
+        while (true) {                                   \
+          std::string_view s;                            \
+          double v = 0.0;                                \
+          if (!scan_quoted(c, s)) return std::nullopt;   \
+          if (!parse_hexfloat(s, v)) return std::nullopt; \
+          rec.metrics.field.push_back(v);                \
+          if (c.accept(']')) break;                      \
+          if (!c.accept(',')) return std::nullopt;       \
+        }                                                \
+      }                                                  \
+      have_##field = true;                               \
+    }
+    WMN_JOURNAL_VEC_FIELDS(WMN_X)
+#undef WMN_X
+    else {
+      return std::nullopt;  // unknown key: not ours, or damaged
+    }
+  }
+  if (!c.done()) return std::nullopt;  // trailing garbage after '}'
+
+  bool complete = have_v && have_cell && have_rep && have_cfg && have_fp &&
+                  have_fault_enabled;
+#define WMN_X(field) complete = complete && have_##field;
+  WMN_JOURNAL_U64_FIELDS(WMN_X)
+  WMN_JOURNAL_F64_FIELDS(WMN_X)
+  WMN_JOURNAL_VEC_FIELDS(WMN_X)
+#undef WMN_X
+  if (!complete) return std::nullopt;
+  return rec;
+}
+
+bool journal_record_consistent(const JournalRecord& rec) {
+  return fingerprint(rec.metrics) == rec.fingerprint;
+}
+
+}  // namespace wmn::exp

@@ -1,0 +1,70 @@
+// Checkpoint/resume journal for sweeps.
+//
+// SweepEngine appends one JSONL record per *completed, untainted*
+// replication slot as it finishes, flushed line-by-line, so a killed or
+// OOM'd process loses at most the slot in flight — never the completed
+// prefix of a multi-hour campaign. A rerun in resume mode reloads every
+// record whose identity checks out and re-executes only the missing
+// slots; the aggregate output is bit-identical to an uninterrupted run.
+//
+// Record identity is three-fold, and all of it is verified on load:
+//   * cfg    — digest of the slot's cell ScenarioConfig (every field).
+//              A parseable record whose digest mismatches the current
+//              sweep is a *different experiment*: resume refuses
+//              outright rather than mixing results.
+//   * seed   — must equal replication_seed(base, cell, rep) recomputed
+//              from the current sweep.
+//   * fp     — exp::fingerprint() of the stored metrics, recomputed
+//              from the parsed values. A bit-flipped or truncated
+//              metrics payload fails this check and the line is
+//              skipped (that slot simply re-runs).
+//
+// Doubles are serialized as C hexfloats ("%a") and u64 digests as
+// fixed-width hex, so the parse→serialize round trip is bit-exact —
+// the property the resume-equals-uninterrupted contract rests on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exp/metrics.hpp"
+
+namespace wmn::exp {
+
+struct ScenarioConfig;  // exp/scenario.hpp
+
+inline constexpr int kJournalVersion = 1;
+
+// Digest over every ScenarioConfig field (placement, mobility, traffic
+// incl. the rate envelope, protocol options, phy/mac, faults, timing,
+// base seed, supervision budget). Pure and stable: the same config
+// always digests the same, any field change digests differently.
+[[nodiscard]] std::uint64_t config_digest(const ScenarioConfig& cfg);
+
+// One journaled slot. metrics.seed carries the replication seed.
+struct JournalRecord {
+  std::uint64_t cell = 0;
+  std::uint64_t rep = 0;
+  std::uint64_t cfg_digest = 0;
+  std::uint64_t fingerprint = 0;  // exp::fingerprint(metrics) at write time
+  RunMetrics metrics;
+};
+
+// Serialize one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string journal_line(const JournalRecord& rec);
+
+// Parse one journal line. Returns nullopt on any structural damage
+// (truncation, corruption, unknown version, missing field) — the
+// caller skips the line and re-runs the slot. Internal consistency
+// (fingerprint vs metrics) is NOT checked here; see
+// journal_record_consistent().
+[[nodiscard]] std::optional<JournalRecord> parse_journal_line(
+    std::string_view line);
+
+// True iff the record's stored fingerprint matches a recomputation
+// from its parsed metrics — the bit-exactness proof for resume.
+[[nodiscard]] bool journal_record_consistent(const JournalRecord& rec);
+
+}  // namespace wmn::exp

@@ -22,6 +22,8 @@
 
 #include <condition_variable>
 
+#include "exp/supervision.hpp"
+
 namespace wmn::exp {
 
 // Number of worker threads to use by default: hardware concurrency,
@@ -51,6 +53,13 @@ class ThreadPool {
   // Block until every submitted task has completed.
   void wait_idle();
 
+  // The pool's run supervisor: tasks that want a wall-clock deadline
+  // register their CancelToken here (see exp::Watchdog). Owned by the
+  // pool so a hung task and the supervisor that cancels it share one
+  // lifetime; the supervisor thread starts lazily on first use and
+  // costs nothing for unsupervised sweeps.
+  [[nodiscard]] Watchdog& watchdog() { return watchdog_; }
+
  private:
   void worker_loop();
 
@@ -61,6 +70,7 @@ class ThreadPool {
   std::size_t in_flight_ = 0;  // popped but not yet finished
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  Watchdog watchdog_;
 };
 
 // The process-lifetime pool every sweep shares, sized by env_threads()

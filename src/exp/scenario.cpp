@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "core/check.hpp"
+#include "exp/failure.hpp"
 #include <set>
 
 #include "mobility/placement.hpp"
@@ -20,6 +22,7 @@ constexpr std::uint64_t kArrivalSalt = 0xA881'7A10'0000'0000ULL;
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
   WMN_CHECK_GE(cfg_.n_nodes, std::size_t{2}, "a mesh needs at least two nodes");
+  if (cfg_.event_budget != 0) sim_.set_event_budget(cfg_.event_budget);
   std::unique_ptr<phy::PropagationModel> prop =
       std::make_unique<phy::LogDistanceModel>();
   if (cfg_.shadowing_sigma_db > 0.0) {
@@ -165,10 +168,14 @@ void Scenario::build_traffic() {
   std::vector<sim::Time> starts(flow_pairs_.size(), cfg_.warmup);
   if (cfg_.traffic.mean_arrival_gap_s > 0.0) {
     sim::RngStream arrival_rng = sim_.make_stream(kArrivalSalt);
+    // Offsets count from the traffic-window start, so the envelope's
+    // clock starts at 0 here (vs. `warmup` for the session sources
+    // below, which see absolute simulation time).
+    const traffic::RateEnvelope offset_env(cfg_.traffic.rate_envelope, 0.0);
     const auto offsets = traffic::arrival_offsets(
         flow_pairs_.size(),
         sim::Time::seconds(cfg_.traffic.mean_arrival_gap_s),
-        cfg_.traffic_time, arrival_rng);
+        cfg_.traffic_time, arrival_rng, offset_env);
     for (std::size_t i = 0; i < starts.size(); ++i) starts[i] += offsets[i];
   }
 
@@ -220,6 +227,10 @@ void Scenario::build_traffic() {
         fc.max_active_sessions = cfg_.traffic.max_active_sessions;
         fc.start = start;
         fc.stop = stop;
+        // Session arrivals see absolute simulation time; anchor the
+        // envelope at the traffic-window start.
+        fc.envelope = traffic::RateEnvelope(cfg_.traffic.rate_envelope,
+                                            cfg_.warmup.to_seconds());
         session_sources_.push_back(std::make_unique<traffic::SessionSource>(
             sim_, fc, *nodes_[src].agent, factory_, registry_));
         break;
@@ -249,6 +260,22 @@ void Scenario::run() {
   sim_.run_until(cfg_.warmup + cfg_.traffic_time + cfg_.drain);
   const auto t1 = std::chrono::steady_clock::now();  // NOLINT(wmn-nondeterminism)
   wall_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  // A run cut short by supervision produced a truncated trace, not a
+  // measurement: surface the structured reason, never partial metrics.
+  switch (sim_.abort_reason()) {
+    case sim::Simulator::AbortReason::kNone:
+      break;
+    case sim::Simulator::AbortReason::kEventBudget:
+      throw RunAborted(FailureKind::kEventBudgetExhausted,
+                       "event budget (" +
+                           std::to_string(sim_.event_budget()) +
+                           " events) exhausted at t=" +
+                           std::to_string(sim_.now().to_seconds()) + "s");
+    case sim::Simulator::AbortReason::kCancelled:
+      throw RunAborted(FailureKind::kDeadlineExceeded,
+                       "cancelled by the run supervisor at t=" +
+                           std::to_string(sim_.now().to_seconds()) + "s");
+  }
   ran_ = true;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/protocols.hpp"
@@ -72,6 +73,15 @@ struct TrafficSpec {
   // (clamped to the traffic window) instead of all flows starting at
   // once — new flows join a mesh that is already carrying load.
   double mean_arrival_gap_s = 0.0;
+
+  // Piecewise-linear arrival-rate multiplier over the traffic window:
+  // (seconds since traffic start, multiplier) knots, strictly
+  // increasing in time. Scales session arrival rates and the staggered
+  // flow-arrival process — a flash crowd is e.g. {0:1, 10:1, 12:8,
+  // 20:8, 22:1}, a diurnal cycle a slow triangle wave. Empty (the
+  // default) bypasses the envelope entirely: RNG draw sequence and
+  // fingerprints are bit-identical to builds that predate it.
+  std::vector<std::pair<double, double>> rate_envelope;
 };
 
 struct ScenarioConfig {
@@ -98,6 +108,14 @@ struct ScenarioConfig {
   sim::Time drain = sim::Time::seconds(2.0);     // in-flight packets land
   std::uint64_t seed = 1;
 
+  // Deterministic run-away guard: abort the run (Scenario::run() throws
+  // exp::RunAborted, kEventBudgetExhausted) once the simulator has
+  // executed this many events. A pure function of the event count —
+  // bit-reproducible across hosts, unlike any wall-clock deadline.
+  // 0 (the default) disables the budget; existing fingerprints are
+  // untouched.
+  std::uint64_t event_budget = 0;
+
   // Channel spatial neighbourhood index + link-budget cache. Results
   // are bit-identical either way (see docs/TOOLING.md); turn off only
   // to benchmark the full O(N^2) scan or to isolate a suspected index
@@ -113,8 +131,19 @@ class Scenario {
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
-  // Execute warmup + traffic + drain.
+  // Execute warmup + traffic + drain. Throws exp::RunAborted when the
+  // run was cut short by the event budget (kEventBudgetExhausted) or a
+  // cancelled token (kDeadlineExceeded) — a truncated trace is not a
+  // measurement, so no metrics survive an abort.
   void run();
+
+  // Cooperative cancellation: the simulator polls `token` every
+  // `poll_every` events (see sim::Simulator::set_cancel_token). The
+  // token must outlive run(); pass nullptr to detach.
+  void set_cancel_token(const sim::CancelToken* token,
+                        std::uint64_t poll_every = 1024) {
+    sim_.set_cancel_token(token, poll_every);
+  }
 
   // Aggregate metrics; valid after run().
   [[nodiscard]] RunMetrics metrics() const;

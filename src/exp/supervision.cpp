@@ -1,0 +1,106 @@
+#include "exp/supervision.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/check.hpp"
+
+namespace wmn::exp {
+
+// wmn-nondeterminism confinement note: every clock read in this file
+// feeds a *supervision* decision — "has this replication been running
+// longer than its wall deadline?" — and nothing else. A run the
+// watchdog never cancels is bit-identical to an unsupervised run; a
+// cancelled run is discarded as kDeadlineExceeded, not measured. See
+// docs/TOOLING.md, "Run supervision & resume".
+
+Watchdog::Lease::Lease(Lease&& other) noexcept
+    : dog_(std::exchange(other.dog_, nullptr)),
+      id_(std::exchange(other.id_, 0)) {}
+
+Watchdog::Lease& Watchdog::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    dog_ = std::exchange(other.dog_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+  }
+  return *this;
+}
+
+void Watchdog::Lease::release() {
+  if (dog_ != nullptr) {
+    dog_->unregister(id_);
+    dog_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Watchdog::Lease Watchdog::watch(sim::CancelToken& token, double deadline_s) {
+  WMN_CHECK_GT(deadline_s, 0.0, "watchdog deadline must be positive");
+  const auto deadline =
+      std::chrono::steady_clock::now() +  // NOLINT(wmn-nondeterminism)
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(deadline_s));
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    id = next_id_++;
+    entries_.push_back(Entry{id, &token, deadline});
+    if (!thread_started_) {
+      thread_started_ = true;
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+  cv_.notify_all();
+  return Lease(this, id);
+}
+
+std::size_t Watchdog::active() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+std::uint64_t Watchdog::expired_count() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return expired_;
+}
+
+void Watchdog::unregister(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(kTickMillis),
+                 [this] { return stop_; });
+    if (stop_) return;
+    const auto now =
+        std::chrono::steady_clock::now();  // NOLINT(wmn-nondeterminism)
+    // Flip and drop expired leases; the owning task's Lease::release()
+    // later is a no-op on the already-removed id.
+    auto expired_it =
+        std::partition(entries_.begin(), entries_.end(),
+                       [now](const Entry& e) { return e.deadline > now; });
+    for (auto it = expired_it; it != entries_.end(); ++it) {
+      it->token->cancel();
+      ++expired_;
+    }
+    entries_.erase(expired_it, entries_.end());
+  }
+}
+
+}  // namespace wmn::exp

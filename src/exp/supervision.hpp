@@ -1,0 +1,100 @@
+// Wall-clock run supervision — deliberately confined to the harness.
+//
+// The Watchdog is the only component in the experiment layer that reads
+// a wall clock on behalf of a running simulation, and the justification
+// for that nondeterminism is narrow and written down (docs/TOOLING.md,
+// "Run supervision & resume"): the clock decides only *whether* a run
+// completes, never what a completed run computes. A replication that
+// beats its deadline is bit-identical to an unsupervised one; a
+// replication that doesn't is discarded wholesale as kDeadlineExceeded.
+// No simulated time, seed, or metric ever derives from the clock.
+//
+// Mechanics: each supervised task registers a Lease pairing its
+// sim::CancelToken with an absolute deadline (start time is taken at
+// registration — the per-task start-time tracking lives here, not in
+// the workers). One lazily started supervisor thread scans the active
+// leases every kTickMillis and flips the token of any lease past its
+// deadline; the simulator observes the flip at its next poll (every K
+// events). Detection latency is therefore bounded by
+// deadline + kTickMillis + K events of simulation progress.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "sim/cancel_token.hpp"
+
+namespace wmn::exp {
+
+class Watchdog {
+ public:
+  // Supervisor scan period; the wall-clock granularity added on top of
+  // a deadline before a hung run is flagged.
+  static constexpr int kTickMillis = 50;
+
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // RAII registration of one supervised run. Destroying the lease
+  // (normally: the replication finished) withdraws it; the token is
+  // only ever flipped while the lease is alive.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    // Withdraw supervision early (idempotent).
+    void release();
+
+   private:
+    friend class Watchdog;
+    Lease(Watchdog* dog, std::uint64_t id) : dog_(dog), id_(id) {}
+    Watchdog* dog_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  // Start supervising: `token` is flipped once `deadline_s` wall
+  // seconds elapse from now, unless the lease dies first. The token
+  // must outlive the lease.
+  [[nodiscard]] Lease watch(sim::CancelToken& token, double deadline_s);
+
+  // Leases currently registered (tests / diagnostics).
+  [[nodiscard]] std::size_t active() const;
+
+  // Total tokens this watchdog has ever flipped.
+  [[nodiscard]] std::uint64_t expired_count() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    sim::CancelToken* token = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void unregister(std::uint64_t id);
+  void loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t expired_ = 0;
+  bool stop_ = false;
+  bool thread_started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace wmn::exp

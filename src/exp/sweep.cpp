@@ -4,12 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/check.hpp"
+#include "exp/journal.hpp"
+#include "exp/supervision.hpp"
 
 namespace wmn::exp {
 
@@ -20,6 +23,10 @@ namespace wmn::exp {
 SweepEngine::SweepEngine(unsigned threads)
     : threads_(threads == 0 ? 1u : threads) {}
 
+SweepEngine::~SweepEngine() {
+  if (journal_file_ != nullptr) std::fclose(journal_file_);
+}
+
 std::size_t SweepEngine::add_cell(const ScenarioConfig& cfg,
                                   std::size_t n_reps, std::string label) {
   WMN_CHECK(!ran_, "add_cell after run(): a SweepEngine drains once");
@@ -27,6 +34,7 @@ std::size_t SweepEngine::add_cell(const ScenarioConfig& cfg,
   Cell cell;
   cell.label = std::move(label);
   cell.cfg = cfg;
+  cell.digest = config_digest(cfg);
   cell.first = outcomes_.size();
   cell.n_reps = n_reps;
   outcomes_.resize(outcomes_.size() + n_reps);
@@ -34,17 +42,204 @@ std::size_t SweepEngine::add_cell(const ScenarioConfig& cfg,
   return cells_.size() - 1;
 }
 
-RunMetrics SweepEngine::execute(const ScenarioConfig& cfg) {
+void SweepEngine::set_rep_deadline(double seconds) {
+  WMN_CHECK_GE(seconds, 0.0, "replication deadline cannot be negative");
+  rep_deadline_s_ = seconds < 0.0 ? 0.0 : seconds;
+}
+
+void SweepEngine::enable_journal(std::string path, bool resume) {
+  WMN_CHECK(!ran_, "enable_journal after run()");
+  WMN_CHECK(!path.empty(), "journal path must be non-empty");
+  journal_path_ = std::move(path);
+  journal_enabled_ = true;
+  resume_ = resume;
+}
+
+RunMetrics SweepEngine::execute(const ScenarioConfig& cfg,
+                                sim::CancelToken* cancel) {
   Scenario scenario(cfg);
+  if (cancel != nullptr) scenario.set_cancel_token(cancel);
   scenario.run();
   return scenario.metrics();
+}
+
+void SweepEngine::load_journal() {
+  std::ifstream in(journal_path_);
+  if (!in.is_open()) return;  // no journal yet: nothing to resume
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto rec = parse_journal_line(line);
+    if (!rec.has_value() || !journal_record_consistent(*rec)) {
+      // Damaged (truncated write, bit rot): the slot it would have
+      // covered simply re-runs. Warn so an operator sees the data loss.
+      std::fprintf(stderr,
+                   "[wmn] journal %s line %zu: damaged record skipped "
+                   "(its slot will re-run)\n",
+                   journal_path_.c_str(), lineno);
+      continue;
+    }
+    // A record that parses cleanly but does not belong to *this* sweep
+    // is a category error, not damage: refuse to resume rather than
+    // silently blend two experiments' results.
+    if (rec->cell >= cells_.size() ||
+        rec->rep >= cells_[rec->cell].n_reps) {
+      throw std::runtime_error(
+          "resume refused: journal '" + journal_path_ + "' line " +
+          std::to_string(lineno) +
+          " addresses a slot outside this sweep (different experiment?)");
+    }
+    const Cell& cell = cells_[rec->cell];
+    if (rec->cfg_digest != cell.digest) {
+      throw std::runtime_error(
+          "resume refused: journal '" + journal_path_ + "' line " +
+          std::to_string(lineno) +
+          " has a different scenario config digest — it belongs to a "
+          "different experiment; delete the journal (or point "
+          "WMN_RESULTS_DIR elsewhere) to start fresh");
+    }
+    const std::uint64_t want_seed =
+        replication_seed(cell.cfg.seed, rec->cell, rec->rep);
+    if (rec->metrics.seed != want_seed) {
+      throw std::runtime_error(
+          "resume refused: journal '" + journal_path_ + "' line " +
+          std::to_string(lineno) + " seed does not match replication_seed(" +
+          std::to_string(cell.cfg.seed) + ", " + std::to_string(rec->cell) +
+          ", " + std::to_string(rec->rep) + ")");
+    }
+    RepOutcome& out = outcomes_[cell.first + rec->rep];
+    if (out.metrics.has_value()) continue;  // duplicate line: first wins
+    out.seed = want_seed;
+    out.metrics = std::move(rec->metrics);
+    out.kind = FailureKind::kNone;
+    out.restored = true;
+    out.attempts = 0;
+    sweep_events_.fetch_add(
+        static_cast<std::uint64_t>(out.metrics->sim_event_count),
+        std::memory_order_relaxed);
+    ++resumed_;
+  }
+}
+
+void SweepEngine::journal_append(std::size_t cell_id, std::size_t rep,
+                                 const RunMetrics& metrics) {
+  JournalRecord rec;
+  rec.cell = cell_id;
+  rec.rep = rep;
+  rec.cfg_digest = cells_[cell_id].digest;
+  rec.fingerprint = fingerprint(metrics);
+  rec.metrics = metrics;
+  const std::string line = journal_line(rec);
+
+  const std::lock_guard<std::mutex> lk(journal_mu_);
+  if (journal_file_ == nullptr) return;
+  std::fputs(line.c_str(), journal_file_);
+  std::fputc('\n', journal_file_);
+  // Flush per record: a killed process keeps every completed line.
+  std::fflush(journal_file_);
+}
+
+void SweepEngine::run_slot(std::size_t cell_id, std::size_t rep) {
+  const Cell& cell = cells_[cell_id];
+  RepOutcome& out = outcomes_[cell.first + rep];
+  ScenarioConfig cfg = cell.cfg;  // private copy per task
+  cfg.seed = replication_seed(cell.cfg.seed, cell_id, rep);
+  out.seed = cfg.seed;
+
+  const unsigned max_attempts = 1 + retry_limit_;
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    // Cumulative sweep budget: once spent, remaining slots are skipped
+    // deterministically (checked between attempts, never mid-run).
+    if (sweep_event_budget_ != 0 &&
+        sweep_events_.load(std::memory_order_relaxed) >= sweep_event_budget_) {
+      out.kind = FailureKind::kEventBudgetExhausted;
+      out.error = "sweep event budget exhausted before this slot ran";
+      out.attempts = attempt - 1;
+      return;
+    }
+    out.attempts = attempt;
+
+    FailureKind kind = FailureKind::kNone;
+    std::string error;
+    std::optional<RunMetrics> metrics;
+    sim::CancelToken token;
+    Watchdog::Lease lease;
+    if (rep_deadline_s_ > 0.0) {
+      lease = shared_pool().watchdog().watch(token, rep_deadline_s_);
+    }
+    try {
+      metrics =
+          execute(cfg, rep_deadline_s_ > 0.0 ? &token : nullptr);
+    } catch (const RunAborted& e) {
+      kind = e.kind();
+      error = e.what();
+    } catch (const std::bad_alloc& e) {
+      kind = FailureKind::kBadAlloc;
+      error = e.what();
+    } catch (const std::exception& e) {
+      kind = FailureKind::kException;
+      error = e.what();
+    } catch (...) {
+      kind = FailureKind::kException;
+      error = "unknown exception";
+    }
+    lease.release();
+
+    if (kind == FailureKind::kNone && metrics.has_value() &&
+        metrics->check_violations > 0) {
+      // The run finished but tripped invariants under kLogAndCount:
+      // keep the numbers for inspection, exclude them from statistics.
+      std::ostringstream oss;
+      oss << metrics->check_violations
+          << " invariant violation(s) (WMN_CHECK, log-and-count)";
+      kind = FailureKind::kCheckTaint;
+      error = oss.str();
+    }
+
+    if (kind == FailureKind::kNone) {
+      out.metrics = std::move(metrics);
+      out.kind = FailureKind::kNone;
+      out.error.clear();
+      sweep_events_.fetch_add(
+          static_cast<std::uint64_t>(out.metrics->sim_event_count),
+          std::memory_order_relaxed);
+      if (journal_enabled_) journal_append(cell_id, rep, *out.metrics);
+      return;
+    }
+
+    out.kind = kind;
+    out.error = error;
+    if (kind == FailureKind::kCheckTaint) out.metrics = std::move(metrics);
+    if (!failure_is_transient(kind) || attempt == max_attempts) return;
+    // Transient failure with attempts left: same seed, fresh token.
+  }
 }
 
 void SweepEngine::run() {
   WMN_CHECK(!ran_, "SweepEngine::run() called twice");
   ran_ = true;
 
-  // Flatten (cell, rep) pairs so the pool sees one uniform task list.
+  if (journal_enabled_) {
+    if (resume_) load_journal();
+    journal_file_ = std::fopen(journal_path_.c_str(), "a+");
+    if (journal_file_ == nullptr) {
+      throw std::runtime_error("cannot open sweep journal for append: " +
+                               journal_path_);
+    }
+    // A crash can leave a torn final line with no newline; terminate it
+    // now or the first record appended below would concatenate onto the
+    // damage and be lost too.
+    if (std::fseek(journal_file_, -1, SEEK_END) == 0) {
+      if (std::fgetc(journal_file_) != '\n') std::fputc('\n', journal_file_);
+    }
+  }
+
+  // Flatten the (cell, rep) pairs still owed an execution so the pool
+  // sees one uniform task list. Journal-restored slots are already
+  // final and never re-run — that is the whole point of resume.
   struct Task {
     std::size_t cell;
     std::size_t rep;
@@ -52,35 +247,23 @@ void SweepEngine::run() {
   std::vector<Task> tasks;
   tasks.reserve(outcomes_.size());
   for (std::size_t c = 0; c < cells_.size(); ++c) {
-    for (std::size_t r = 0; r < cells_[c].n_reps; ++r) tasks.push_back({c, r});
+    for (std::size_t r = 0; r < cells_[c].n_reps; ++r) {
+      if (!outcomes_[cells_[c].first + r].restored) tasks.push_back({c, r});
+    }
   }
 
-  auto tried = parallel_try_map(
-      shared_pool(), tasks.size(), threads_, [this, &tasks](std::size_t t) {
-        const Task& tk = tasks[t];
-        const Cell& cell = cells_[tk.cell];
-        ScenarioConfig cfg = cell.cfg;  // private copy per task
-        cfg.seed = replication_seed(cell.cfg.seed, tk.cell, tk.rep);
-        return execute(cfg);
-      });
+  // Each task writes its own outcomes_ slot exclusively; run_slot
+  // contains every failure, so the boxed result is always `true` and
+  // only the drain machinery of parallel_try_map is used.
+  (void)parallel_try_map(shared_pool(), tasks.size(), threads_,
+                         [this, &tasks](std::size_t t) {
+                           run_slot(tasks[t].cell, tasks[t].rep);
+                           return true;
+                         });
 
-  for (std::size_t t = 0; t < tasks.size(); ++t) {
-    const Task& tk = tasks[t];
-    RepOutcome& out = outcomes_[cells_[tk.cell].first + tk.rep];
-    out.seed = replication_seed(cells_[tk.cell].cfg.seed, tk.cell, tk.rep);
-    if (!tried[t].ok()) {
-      out.error = tried[t].error;
-      continue;
-    }
-    out.metrics = std::move(*tried[t].value);
-    if (out.metrics->check_violations > 0) {
-      // The run finished but tripped invariants under kLogAndCount:
-      // keep the numbers for inspection, exclude them from statistics.
-      std::ostringstream oss;
-      oss << out.metrics->check_violations
-          << " invariant violation(s) (WMN_CHECK, log-and-count)";
-      out.error = oss.str();
-    }
+  if (journal_file_ != nullptr) {
+    std::fclose(journal_file_);
+    journal_file_ = nullptr;
   }
 }
 
@@ -109,6 +292,15 @@ std::size_t SweepEngine::failed_count() const {
   return n;
 }
 
+FailureCounts SweepEngine::failure_counts() const {
+  WMN_CHECK(ran_, "failure_counts() before run()");
+  FailureCounts counts{};
+  for (const RepOutcome& rep : outcomes_) {
+    counts[static_cast<std::size_t>(rep.kind)]++;
+  }
+  return counts;
+}
+
 std::string SweepEngine::failure_report() const {
   WMN_CHECK(ran_, "failure_report() before run()");
   std::ostringstream oss;
@@ -119,7 +311,10 @@ std::string SweepEngine::failure_report() const {
       if (rep.ok()) continue;
       oss << "  cell " << c;
       if (!cell.label.empty()) oss << " (" << cell.label << ")";
-      oss << " rep " << r << " seed " << rep.seed << ": " << rep.error << "\n";
+      oss << " rep " << r << " seed " << rep.seed << " ["
+          << failure_kind_name(rep.kind) << "]";
+      if (rep.attempts > 1) oss << " after " << rep.attempts << " attempts";
+      oss << ": " << rep.error << "\n";
     }
   }
   return oss.str();
@@ -199,6 +394,38 @@ std::optional<unsigned long long> env_positive(const char* name,
   return v;
 }
 
+// Like env_positive but zero is a legal value (e.g. WMN_RETRIES=0
+// means "never retry").
+std::optional<unsigned long long> env_nonnegative(const char* name,
+                                                  const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  const bool consumed = end != value && *end == '\0';
+  if (!consumed || errno == ERANGE || std::strchr(value, '-') != nullptr) {
+    std::fprintf(stderr,
+                 "[wmn] %s='%s' is not a non-negative integer; using default\n",
+                 name, value);
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> env_positive_double(const char* name,
+                                          const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  const bool consumed = end != value && *end == '\0';
+  if (!consumed || errno == ERANGE || !(v > 0.0)) {
+    std::fprintf(stderr,
+                 "[wmn] %s='%s' is not a positive number; using default\n",
+                 name, value);
+    return std::nullopt;
+  }
+  return v;
+}
+
 }  // namespace
 
 std::size_t env_reps(std::size_t default_reps) {
@@ -239,6 +466,39 @@ void apply_quick_mode(ScenarioConfig& cfg) {
   // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
   if (std::getenv("WMN_QUICK") != nullptr) {
     cfg.traffic_time = sim::Time::seconds(15.0);
+  }
+}
+
+void apply_supervision_env(SweepEngine& sweep, const std::string& journal_path,
+                           bool force_resume) {
+  // All four knobs follow the WMN_REPS contract: read once at setup,
+  // steering only *which* slots execute (or whether a hung one is
+  // abandoned) — never what an executed slot computes.
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
+  if (const char* s = std::getenv("WMN_DEADLINE_S"); s != nullptr) {
+    if (const auto v = env_positive_double("WMN_DEADLINE_S", s);
+        v.has_value()) {
+      sweep.set_rep_deadline(*v);
+    }
+  }
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
+  if (const char* s = std::getenv("WMN_RETRIES"); s != nullptr) {
+    if (const auto v = env_nonnegative("WMN_RETRIES", s); v.has_value()) {
+      sweep.set_retry_limit(static_cast<unsigned>(
+          std::min<unsigned long long>(*v, 16)));  // sanity ceiling
+    }
+  }
+  // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
+  if (const char* s = std::getenv("WMN_SWEEP_EVENT_BUDGET"); s != nullptr) {
+    if (const auto v = env_positive("WMN_SWEEP_EVENT_BUDGET", s);
+        v.has_value()) {
+      sweep.set_sweep_event_budget(*v);
+    }
+  }
+  if (!journal_path.empty()) {
+    // NOLINTNEXTLINE(wmn-nondeterminism,concurrency-mt-unsafe)
+    const bool resume = force_resume || std::getenv("WMN_RESUME") != nullptr;
+    sweep.enable_journal(journal_path, resume);
   }
 }
 

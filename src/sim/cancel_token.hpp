@@ -1,0 +1,37 @@
+// Cooperative cancellation for a running simulation.
+//
+// A CancelToken is one atomic flag shared between exactly two parties:
+// a supervisor (the exp-layer watchdog, or any harness code) that flips
+// it, and a Simulator that polls it every K executed events (see
+// Simulator::set_cancel_token). The simulator never blocks on it and
+// never reads a clock: cancellation decides only *whether* a run
+// completes, never what a completed run computes, so the determinism
+// contract is untouched — a run that finishes under a token is
+// bit-identical to one without.
+#pragma once
+
+#include <atomic>
+
+namespace wmn::sim {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Request cancellation. Safe to call from any thread, repeatedly.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Re-arm for another run (harness reuse between retries).
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace wmn::sim

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/check.hpp"
+#include "sim/cancel_token.hpp"
 #include "sim/event.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -38,15 +39,59 @@ class Simulator {
     return calendar_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
-  // Schedule at an absolute timestamp; must not be in the past.
+  // Schedule at an absolute timestamp; must not be in the past. Under
+  // CheckPolicy::kLogAndCount the violation is logged and the event is
+  // clamped to `now_`: inserting the past-dated time itself would break
+  // calendar monotonicity one pop later and cascade a second violation
+  // out of the run loop.
   template <typename F>
   EventId schedule_at(Time at, F&& fn) {
     WMN_CHECK_GE(at, now_, "cannot schedule in the past");
+    if (at < now_) at = now_;
     return calendar_.schedule(at, std::forward<F>(fn));
   }
 
   void cancel(EventId id) { calendar_.cancel(id); }
   [[nodiscard]] bool pending(EventId id) const { return calendar_.pending(id); }
+
+  // --- supervision ----------------------------------------------------
+  // Why a run loop ended early, beyond an explicit stop().
+  enum class AbortReason : std::uint8_t {
+    kNone,         // ran to completion (or stop()/deadline)
+    kEventBudget,  // event budget exhausted — deterministic
+    kCancelled,    // cooperative cancel token observed set
+  };
+
+  // Deterministic event budget: abort the run once `events_executed()`
+  // reaches `max_events` with more work pending. A pure function of the
+  // event count — two same-seed runs trip it at the identical event —
+  // so a budgeted run is exactly reproducible. 0 (the default) disables
+  // the budget; existing runs and fingerprints are untouched.
+  void set_event_budget(std::uint64_t max_events) {
+    event_budget_ = max_events;
+  }
+  [[nodiscard]] std::uint64_t event_budget() const { return event_budget_; }
+
+  // Cooperative cancellation: poll `token` every `poll_every` executed
+  // events and abort the run when it is set. The kernel only ever loads
+  // one relaxed atomic — no clocks, no blocking — so a run that is NOT
+  // cancelled is bit-identical to an unsupervised one. Pass nullptr to
+  // detach. Granularity: a cancel is observed within `poll_every`
+  // events of being requested.
+  void set_cancel_token(const CancelToken* token,
+                        std::uint64_t poll_every = 1024) {
+    WMN_CHECK_GT(poll_every, std::uint64_t{0},
+                 "cancel poll interval must be positive");
+    cancel_token_ = token;
+    cancel_poll_every_ = poll_every == 0 ? 1 : poll_every;
+    cancel_countdown_ = cancel_poll_every_;
+  }
+
+  // Why the last run_until() aborted; kNone for a clean finish.
+  [[nodiscard]] AbortReason abort_reason() const { return abort_reason_; }
+  [[nodiscard]] bool aborted() const {
+    return abort_reason_ != AbortReason::kNone;
+  }
 
   // --- execution -----------------------------------------------------
   // Run until the calendar drains or stop() is called.
@@ -57,7 +102,22 @@ class Simulator {
   // min(deadline, time of last event) unless stopped early.
   void run_until(Time deadline) {
     stopped_ = false;
+    abort_reason_ = AbortReason::kNone;
     while (!stopped_ && !calendar_.empty()) {
+      if (event_budget_ != 0 && events_executed_ >= event_budget_)
+          [[unlikely]] {
+        abort_reason_ = AbortReason::kEventBudget;
+        stopped_ = true;
+        return;
+      }
+      if (cancel_token_ != nullptr && --cancel_countdown_ == 0) [[unlikely]] {
+        cancel_countdown_ = cancel_poll_every_;
+        if (cancel_token_->cancelled()) {
+          abort_reason_ = AbortReason::kCancelled;
+          stopped_ = true;
+          return;
+        }
+      }
       const Time t = calendar_.next_time();
       if (t > deadline) {
         now_ = deadline;
@@ -96,7 +156,12 @@ class Simulator {
   Time now_ = Time::zero();
   std::uint64_t master_seed_;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t event_budget_ = 0;  // 0 = unlimited
+  const CancelToken* cancel_token_ = nullptr;
+  std::uint64_t cancel_poll_every_ = 1024;
+  std::uint64_t cancel_countdown_ = 1024;
   bool stopped_ = false;
+  AbortReason abort_reason_ = AbortReason::kNone;
 };
 
 }  // namespace wmn::sim

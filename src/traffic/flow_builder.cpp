@@ -54,6 +54,12 @@ std::vector<NodePair> gateway_pairs(std::size_t n_flows, std::uint32_t n_nodes,
 std::vector<sim::Time> arrival_offsets(std::size_t n, sim::Time mean_gap,
                                        sim::Time horizon,
                                        sim::RngStream& rng) {
+  return arrival_offsets(n, mean_gap, horizon, rng, RateEnvelope{});
+}
+
+std::vector<sim::Time> arrival_offsets(std::size_t n, sim::Time mean_gap,
+                                       sim::Time horizon, sim::RngStream& rng,
+                                       const RateEnvelope& envelope) {
   WMN_CHECK_GT(mean_gap.ns(), std::int64_t{0},
                "arrival gap must be positive");
   std::vector<sim::Time> out;
@@ -61,7 +67,14 @@ std::vector<sim::Time> arrival_offsets(std::size_t n, sim::Time mean_gap,
   sim::Time at = sim::Time::zero();
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(std::min(at, horizon));
-    at += sim::Time::seconds(rng.exponential(mean_gap.to_seconds()));
+    if (envelope.active()) {
+      // Frozen-rate: the envelope value at the current offset shapes
+      // this gap. One draw per flow either way.
+      const double mult = envelope.multiplier_at(at.to_seconds());
+      at += sim::Time::seconds(rng.exponential(mean_gap.to_seconds() / mult));
+    } else {
+      at += sim::Time::seconds(rng.exponential(mean_gap.to_seconds()));
+    }
   }
   return out;
 }

@@ -16,6 +16,7 @@
 
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "traffic/rate_envelope.hpp"
 
 namespace wmn::traffic {
 
@@ -40,5 +41,15 @@ using NodePair = std::pair<std::uint32_t, std::uint32_t>;
                                                      sim::Time mean_gap,
                                                      sim::Time horizon,
                                                      sim::RngStream& rng);
+
+// Envelope-aware variant: the instantaneous arrival rate at offset t is
+// (1 / mean_gap) * envelope(t) with the envelope's clock starting at
+// offset 0, so a flash-crowd spike compresses the gaps drawn inside it
+// (frozen-rate scheme, see traffic/rate_envelope.hpp). With an
+// inactive envelope the draw sequence — and every offset — is
+// bit-identical to the overload above.
+[[nodiscard]] std::vector<sim::Time> arrival_offsets(
+    std::size_t n, sim::Time mean_gap, sim::Time horizon, sim::RngStream& rng,
+    const RateEnvelope& envelope);
 
 }  // namespace wmn::traffic

@@ -1,0 +1,82 @@
+// Piecewise-linear arrival-rate envelope — flash crowds and diurnal
+// load for the seeded arrival processes.
+//
+// An envelope is a list of (seconds since its origin, multiplier)
+// knots, strictly increasing in time. Between knots the multiplier is
+// linearly interpolated; before the first and after the last it is
+// clamped to the boundary value. Sources apply it by scaling the
+// *instantaneous* arrival rate at each draw (a frozen-rate
+// approximation of the nonhomogeneous Poisson process: the gap drawn
+// at time t uses rate(t) — exact in the piecewise-constant limit and
+// within one gap of exact elsewhere, while keeping the one-draw-per-
+// arrival determinism contract of every traffic:: source).
+//
+// An inactive (empty) envelope is the promise this feature is built
+// on: callers must branch on active() and keep the pre-envelope
+// arithmetic bit-for-bit when it is off, so every existing fingerprint
+// survives.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace wmn::traffic {
+
+class RateEnvelope {
+ public:
+  // Multipliers are floored here: a literal zero rate would stall the
+  // arrival process forever (no next draw ever scheduled); a deep
+  // trough approximates "off" while keeping the process alive.
+  static constexpr double kMinMultiplier = 1e-6;
+
+  RateEnvelope() = default;
+
+  // `knots` as (seconds since `origin_s`, multiplier); `origin_s` is
+  // the absolute simulation time the envelope's clock starts at
+  // (typically the traffic-window start).
+  explicit RateEnvelope(std::vector<std::pair<double, double>> knots,
+                        double origin_s = 0.0)
+      : knots_(std::move(knots)), origin_s_(origin_s) {
+    for (std::size_t i = 0; i < knots_.size(); ++i) {
+      WMN_CHECK_GE(knots_[i].second, 0.0,
+                   "envelope multiplier cannot be negative");
+      knots_[i].second = std::max(knots_[i].second, kMinMultiplier);
+      if (i > 0) {
+        WMN_CHECK_GT(knots_[i].first, knots_[i - 1].first,
+                     "envelope knot times must be strictly increasing");
+      }
+    }
+  }
+
+  [[nodiscard]] bool active() const { return !knots_.empty(); }
+
+  // Multiplier at absolute simulation time `t_s` (seconds). 1.0 when
+  // inactive.
+  [[nodiscard]] double multiplier_at(double t_s) const {
+    if (knots_.empty()) return 1.0;
+    const double t = t_s - origin_s_;
+    if (t <= knots_.front().first) return knots_.front().second;
+    if (t >= knots_.back().first) return knots_.back().second;
+    // Knots are few (an envelope is a handful of way-points); linear
+    // scan beats binary search at this size and stays branch-simple.
+    for (std::size_t i = 1; i < knots_.size(); ++i) {
+      if (t <= knots_[i].first) {
+        const auto& [t0, m0] = knots_[i - 1];
+        const auto& [t1, m1] = knots_[i];
+        const double f = (t - t0) / (t1 - t0);
+        return m0 + f * (m1 - m0);
+      }
+    }
+    return knots_.back().second;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> knots_;
+  double origin_s_ = 0.0;
+};
+
+}  // namespace wmn::traffic

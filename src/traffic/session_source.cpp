@@ -34,8 +34,14 @@ SessionSource::SessionSource(sim::Simulator& simulator,
   registry_.register_flow(cfg_.flow_id, agent_.address(), cfg_.dest);
   sessions_.resize(cfg_.max_active_sessions);
 
-  const double aggregate_rate = static_cast<double>(cfg_.users) *
-                                cfg_.session_rate_per_user_per_s;
+  double aggregate_rate = static_cast<double>(cfg_.users) *
+                          cfg_.session_rate_per_user_per_s;
+  // Frozen-rate envelope application: the rate in force at the moment
+  // of the draw shapes this gap (see traffic/rate_envelope.hpp). The
+  // branch keeps the inactive path's arithmetic untouched.
+  if (cfg_.envelope.active()) {
+    aggregate_rate *= cfg_.envelope.multiplier_at(cfg_.start.to_seconds());
+  }
   const sim::Time first =
       cfg_.start + sim::Time::seconds(rng_.exponential(1.0 / aggregate_rate));
   if (first < cfg_.stop) {
@@ -66,8 +72,11 @@ void SessionSource::on_arrival() {
   const double alpha = cfg_.pareto_shape;
   const double scale = cfg_.mean_session_pkts * (alpha - 1.0) / alpha;
   const double size = rng_.pareto(alpha, scale);
-  const double aggregate_rate = static_cast<double>(cfg_.users) *
-                                cfg_.session_rate_per_user_per_s;
+  double aggregate_rate = static_cast<double>(cfg_.users) *
+                          cfg_.session_rate_per_user_per_s;
+  if (cfg_.envelope.active()) {
+    aggregate_rate *= cfg_.envelope.multiplier_at(sim_.now().to_seconds());
+  }
   const sim::Time next_arrival =
       sim_.now() + sim::Time::seconds(rng_.exponential(1.0 / aggregate_rate));
 

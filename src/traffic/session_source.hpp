@@ -29,6 +29,7 @@
 
 #include "routing/aodv.hpp"
 #include "traffic/flow_registry.hpp"
+#include "traffic/rate_envelope.hpp"
 
 namespace wmn::traffic {
 
@@ -46,6 +47,10 @@ struct SessionSourceConfig {
   std::uint32_t max_active_sessions = 64;
   sim::Time start{};
   sim::Time stop = sim::Time::max();
+  // Time-varying arrival-rate multiplier (flash crowds, diurnal load).
+  // Inactive (the default) keeps the draw sequence — and therefore all
+  // existing fingerprints — bit-identical to the constant-rate source.
+  RateEnvelope envelope;
 };
 
 class SessionSource {

@@ -151,7 +151,10 @@ class FakeEngine : public SweepEngine {
   std::function<RunMetrics(const ScenarioConfig&)> body;
 
  protected:
-  RunMetrics execute(const ScenarioConfig& cfg) override { return body(cfg); }
+  RunMetrics execute(const ScenarioConfig& cfg,
+                     sim::CancelToken* /*cancel*/) override {
+    return body(cfg);
+  }
 };
 
 ScenarioConfig tiny_config(std::uint64_t seed) {

@@ -4,6 +4,9 @@
 
 #include <vector>
 
+#include "core/check.hpp"
+#include "sim/cancel_token.hpp"
+
 namespace wmn::sim {
 namespace {
 
@@ -123,6 +126,87 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
   });
   s.run();
   EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, ScheduleAtPastTimeClampsUnderLogAndCount) {
+  // Regression: under kLogAndCount the failed WMN_CHECK_GE falls
+  // through instead of aborting, so schedule_at must still clamp a
+  // stale absolute timestamp to now() — otherwise the event lands in
+  // the past and the clock runs backwards.
+  core::set_check_policy(core::CheckPolicy::kLogAndCount);
+  core::reset_check_violations();
+  Simulator s;
+  bool ran = false;
+  s.schedule(Time::seconds(3.0), [&] {
+    s.schedule_at(Time::seconds(1.0), [&] {
+      ran = true;
+      EXPECT_EQ(s.now(), Time::seconds(3.0));
+    });
+  });
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(core::check_violations(), 1u);
+  core::set_check_policy(core::CheckPolicy::kAbort);
+}
+
+TEST(Simulator, EventBudgetAbortsDeterministically) {
+  struct Stopped {
+    Simulator::AbortReason reason;
+    std::uint64_t events;
+    Time at;
+    bool operator==(const Stopped&) const = default;
+  };
+  auto run_with_budget = [](std::uint64_t budget) {
+    Simulator s;
+    s.set_event_budget(budget);
+    std::function<void()> chain = [&] { s.schedule(Time::seconds(1.0), chain); };
+    s.schedule(Time::seconds(1.0), chain);
+    s.run_until(Time::seconds(1000.0));
+    return Stopped{s.abort_reason(), s.events_executed(), s.now()};
+  };
+  const Stopped a = run_with_budget(5);
+  EXPECT_EQ(a.reason, Simulator::AbortReason::kEventBudget);
+  EXPECT_EQ(a.events, 5u);
+  // Pure function of the event count: a second run stops identically.
+  EXPECT_EQ(run_with_budget(5), a);
+}
+
+TEST(Simulator, EventBudgetZeroMeansUnlimited) {
+  Simulator s;
+  EXPECT_EQ(s.event_budget(), 0u);
+  for (int i = 0; i < 10; ++i) s.schedule(Time::seconds(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 10u);
+  EXPECT_EQ(s.abort_reason(), Simulator::AbortReason::kNone);
+  EXPECT_FALSE(s.aborted());
+}
+
+TEST(Simulator, CancelTokenStopsRunAtNextPoll) {
+  Simulator s;
+  CancelToken token;
+  s.set_cancel_token(&token, /*poll_every=*/4);
+  std::uint64_t fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired == 2) token.cancel();
+    s.schedule(Time::seconds(1.0), chain);
+  };
+  s.schedule(Time::seconds(1.0), chain);
+  s.run_until(Time::seconds(1000.0));
+  EXPECT_EQ(s.abort_reason(), Simulator::AbortReason::kCancelled);
+  // Cancelled during event 2; the poll fires at the top of the 4th
+  // dispatch, so exactly 3 events ran.
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Simulator, CancelTokenNeverFlippedIsFree) {
+  Simulator s;
+  CancelToken token;
+  s.set_cancel_token(&token, 2);
+  for (int i = 0; i < 9; ++i) s.schedule(Time::seconds(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 9u);
+  EXPECT_EQ(s.abort_reason(), Simulator::AbortReason::kNone);
 }
 
 }  // namespace

@@ -1,0 +1,275 @@
+// Checkpoint/resume journal tests: bit-exact record round-trips, the
+// kill-mid-sweep → resume → bit-identical-aggregate contract, refusal
+// on identity mismatch, and tolerance of damaged journal lines.
+#include "exp/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "sim/cancel_token.hpp"
+
+namespace wmn::exp {
+namespace {
+
+// Fast real scenario: small mesh, short traffic window (~a second of
+// wall time per replication), same shape test_fault.cpp uses.
+ScenarioConfig small_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n_nodes = 25;
+  cfg.area_width_m = 600.0;
+  cfg.area_height_m = 600.0;
+  cfg.traffic.n_flows = 4;
+  cfg.traffic.rate_pps = 4.0;
+  cfg.warmup = sim::Time::seconds(3.0);
+  cfg.traffic_time = sim::Time::seconds(8.0);
+  cfg.drain = sim::Time::seconds(1.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string temp_journal(const char* tag) {
+  return testing::TempDir() + "wmn_journal_" + tag + ".jsonl";
+}
+
+RunMetrics awkward_metrics() {
+  RunMetrics m;
+  m.seed = 0xDEADBEEFCAFE1234ULL;
+  m.data_sent = 1'000'000'007;
+  m.data_delivered = 999'999'937;
+  m.pdr = 0.1 + 0.2;                    // classic non-representable sum
+  m.mean_delay_ms = 1.0 / 3.0;
+  m.mean_jitter_ms = 5e-324;            // smallest denormal
+  m.throughput_kbps = -0.0;             // signed zero must survive
+  m.nrl = 1e308;
+  m.forwarding_jain = 0.9999999999999999;
+  m.per_node_forwarded = {0.0, 1.5, 2.25, 1.0 / 7.0};
+  m.gateway_count = 2;
+  m.per_gateway_delivered = {10.0, 12.5};
+  m.fault_enabled = true;
+  m.fault_downtime_s = 3.14159265358979;
+  m.sim_event_count = 123456.0;
+  m.wall_seconds = 0.875;
+  m.check_violations = 0;
+  return m;
+}
+
+TEST(Journal, RoundTripIsBitExact) {
+  JournalRecord rec;
+  rec.cell = 3;
+  rec.rep = 7;
+  rec.cfg_digest = 0x0123456789ABCDEFULL;
+  rec.metrics = awkward_metrics();
+  rec.fingerprint = fingerprint(rec.metrics);
+
+  const std::string line = journal_line(rec);
+  const auto parsed = parse_journal_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell, rec.cell);
+  EXPECT_EQ(parsed->rep, rec.rep);
+  EXPECT_EQ(parsed->cfg_digest, rec.cfg_digest);
+  EXPECT_EQ(parsed->fingerprint, rec.fingerprint);
+  // The fingerprint recomputed from the parsed metrics matches the one
+  // computed from the originals: every double survived bit-exactly.
+  EXPECT_TRUE(journal_record_consistent(*parsed));
+  EXPECT_EQ(fingerprint(parsed->metrics), fingerprint(rec.metrics));
+  EXPECT_EQ(parsed->metrics.per_node_forwarded, rec.metrics.per_node_forwarded);
+  EXPECT_EQ(parsed->metrics.per_gateway_delivered,
+            rec.metrics.per_gateway_delivered);
+  EXPECT_EQ(parsed->metrics.fault_enabled, rec.metrics.fault_enabled);
+  // And serializing the parse reproduces the identical line.
+  EXPECT_EQ(journal_line(*parsed), line);
+}
+
+TEST(Journal, DamagedLinesRejected) {
+  JournalRecord rec;
+  rec.cell = 1;
+  rec.metrics = awkward_metrics();
+  rec.fingerprint = fingerprint(rec.metrics);
+  const std::string line = journal_line(rec);
+
+  EXPECT_FALSE(parse_journal_line("").has_value());
+  EXPECT_FALSE(parse_journal_line("{").has_value());
+  EXPECT_FALSE(parse_journal_line("not json at all").has_value());
+  // Truncation anywhere inside the record.
+  EXPECT_FALSE(parse_journal_line(
+                   std::string_view(line).substr(0, line.size() / 2))
+                   .has_value());
+  EXPECT_FALSE(parse_journal_line(
+                   std::string_view(line).substr(0, line.size() - 1))
+                   .has_value());
+  // Trailing garbage after a well-formed record.
+  EXPECT_FALSE(parse_journal_line(line + "x").has_value());
+  // A flipped metrics byte parses but fails the consistency check.
+  std::string flipped = line;
+  const std::size_t pos = flipped.find("\"pdr\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  // "pdr":"0x1.3333333333334p-2" — flip a mantissa digit so the value
+  // still parses but its bits changed.
+  flipped[pos + 12] = flipped[pos + 12] == '1' ? '2' : '1';
+  const auto parsed = parse_journal_line(flipped);
+  if (parsed.has_value()) {
+    EXPECT_FALSE(journal_record_consistent(*parsed));
+  }
+}
+
+TEST(Journal, ConfigDigestSeparatesConfigs) {
+  const ScenarioConfig a = small_config(42);
+  ScenarioConfig b = a;
+  EXPECT_EQ(config_digest(a), config_digest(b));  // pure
+  b.traffic.rate_pps = 5.0;
+  EXPECT_NE(config_digest(a), config_digest(b));
+  ScenarioConfig c = a;
+  c.traffic.rate_envelope = {{0.0, 1.0}, {5.0, 4.0}};
+  EXPECT_NE(config_digest(a), config_digest(c));
+  ScenarioConfig d = a;
+  d.event_budget = 1000;
+  EXPECT_NE(config_digest(a), config_digest(d));
+}
+
+// The tentpole integration contract: a sweep killed partway (via the
+// deterministic sweep event budget), resumed in a fresh engine, yields
+// per-slot metrics bit-identical to an uninterrupted run.
+TEST(SweepResume, KilledSweepResumesBitIdentical) {
+  const std::string path = temp_journal("resume");
+  std::remove(path.c_str());
+
+  auto add_cells = [](SweepEngine& sweep) {
+    for (std::uint64_t seed : {101, 202}) {
+      sweep.add_cell(small_config(seed), 2, "cell" + std::to_string(seed));
+    }
+  };
+
+  // Reference: uninterrupted, no journal.
+  SweepEngine reference(1);
+  add_cells(reference);
+  reference.run();
+  std::vector<std::uint64_t> want_fp;
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (const RepOutcome& slot : reference.cell(c)) {
+      ASSERT_TRUE(slot.ok());
+      want_fp.push_back(fingerprint(*slot.metrics));
+    }
+  }
+
+  // "Killed" run: the cumulative budget lets roughly half the slots
+  // finish (threads=1 → deterministic cut point), journaling as it goes.
+  const auto ref_events =
+      static_cast<std::uint64_t>(reference.cell(0)[0].metrics->sim_event_count);
+  SweepEngine killed(1);
+  add_cells(killed);
+  killed.enable_journal(path, /*resume=*/false);
+  killed.set_sweep_event_budget(2 * ref_events - ref_events / 2);
+  killed.run();
+  ASSERT_GT(killed.failed_count(), 0u);          // something was cut off
+  ASSERT_LT(killed.failed_count(), 4u);          // something completed
+
+  // Resume: fresh engine, budget off, journal reloaded.
+  SweepEngine resumed(1);
+  add_cells(resumed);
+  resumed.enable_journal(path, /*resume=*/true);
+  resumed.run();
+  EXPECT_EQ(resumed.resumed_count(), 4u - killed.failed_count());
+  EXPECT_EQ(resumed.failed_count(), 0u);
+
+  std::size_t i = 0;
+  std::size_t restored = 0;
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (const RepOutcome& slot : resumed.cell(c)) {
+      ASSERT_TRUE(slot.ok());
+      EXPECT_EQ(fingerprint(*slot.metrics), want_fp[i]) << "slot " << i;
+      EXPECT_EQ(slot.seed, reference.cell(c)[i % 2].seed);
+      restored += slot.restored ? 1 : 0;
+      ++i;
+    }
+  }
+  EXPECT_EQ(restored, resumed.resumed_count());
+
+  // Second resume: now the journal covers everything; nothing re-runs.
+  SweepEngine again(1);
+  add_cells(again);
+  again.enable_journal(path, /*resume=*/true);
+  again.run();
+  EXPECT_EQ(again.resumed_count(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, RefusesJournalOfDifferentExperiment) {
+  const std::string path = temp_journal("mismatch");
+  std::remove(path.c_str());
+
+  SweepEngine writer(1);
+  writer.add_cell(small_config(77), 1);
+  writer.enable_journal(path, false);
+  writer.run();
+  ASSERT_EQ(writer.failed_count(), 0u);
+
+  // Same slot layout, different config → digest mismatch → refuse.
+  SweepEngine other(1);
+  ScenarioConfig cfg = small_config(77);
+  cfg.traffic.rate_pps = 6.0;
+  other.add_cell(cfg, 1);
+  other.enable_journal(path, true);
+  EXPECT_THROW(other.run(), std::runtime_error);
+
+  // A journal with more slots than the sweep is a different experiment
+  // too (out-of-range slot → refuse).
+  SweepEngine shrunk(1);
+  shrunk.add_cell(small_config(99), 1);  // wrong seed as well
+  shrunk.enable_journal(path, true);
+  EXPECT_THROW(shrunk.run(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, DamagedLineSkippedAndSlotReRun) {
+  const std::string path = temp_journal("damaged");
+  std::remove(path.c_str());
+
+  SweepEngine writer(1);
+  writer.add_cell(small_config(55), 2);
+  writer.enable_journal(path, false);
+  writer.run();
+  ASSERT_EQ(writer.failed_count(), 0u);
+
+  // Truncate the second record mid-line, as a crash during a write
+  // would, and append a line of garbage.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << lines[0] << "\n";
+    out << lines[1].substr(0, lines[1].size() / 3);  // torn write
+  }
+
+  SweepEngine resumed(1);
+  resumed.add_cell(small_config(55), 2);
+  resumed.enable_journal(path, true);
+  resumed.run();  // must not throw: damage is recoverable
+  EXPECT_EQ(resumed.resumed_count(), 1u);  // intact record restored
+  EXPECT_EQ(resumed.failed_count(), 0u);   // damaged slot re-ran clean
+  for (const RepOutcome& slot : resumed.cell(0)) {
+    EXPECT_TRUE(slot.ok());
+  }
+  // The journal healed: both slots are covered again.
+  SweepEngine verify(1);
+  verify.add_cell(small_config(55), 2);
+  verify.enable_journal(path, true);
+  verify.run();
+  EXPECT_EQ(verify.resumed_count(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wmn::exp

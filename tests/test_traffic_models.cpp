@@ -18,6 +18,7 @@
 #include "traffic/flow_registry.hpp"
 #include "traffic/heavy_tail_source.hpp"
 #include "traffic/packet_sink.hpp"
+#include "traffic/rate_envelope.hpp"
 #include "traffic/session_source.hpp"
 
 namespace wmn::traffic {
@@ -328,6 +329,133 @@ TEST(ArrivalOffsets, ZeroFlows) {
   EXPECT_TRUE(arrival_offsets(0, sim::Time::seconds(1.0),
                               sim::Time::seconds(10.0), rng)
                   .empty());
+}
+
+// ----- piecewise-linear rate envelope (flash crowd / diurnal) ---------------
+
+TEST(RateEnvelope, InterpolatesAndClampsEnds) {
+  const RateEnvelope env({{10.0, 1.0}, {20.0, 5.0}, {30.0, 5.0}, {40.0, 1.0}});
+  EXPECT_TRUE(env.active());
+  EXPECT_DOUBLE_EQ(env.multiplier_at(0.0), 1.0);   // before first knot
+  EXPECT_DOUBLE_EQ(env.multiplier_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(env.multiplier_at(15.0), 3.0);  // linear ramp
+  EXPECT_DOUBLE_EQ(env.multiplier_at(25.0), 5.0);  // plateau
+  EXPECT_DOUBLE_EQ(env.multiplier_at(35.0), 3.0);  // ramp down
+  EXPECT_DOUBLE_EQ(env.multiplier_at(99.0), 1.0);  // after last knot
+}
+
+TEST(RateEnvelope, EmptyIsInactiveIdentity) {
+  const RateEnvelope env;
+  EXPECT_FALSE(env.active());
+  EXPECT_DOUBLE_EQ(env.multiplier_at(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(env.multiplier_at(123.0), 1.0);
+}
+
+TEST(RateEnvelope, OriginShiftsKnotTimes) {
+  // Knots are relative to the envelope origin (the traffic start), so
+  // a source that begins at t=5 sees knot "0" at absolute t=5.
+  const RateEnvelope env({{0.0, 2.0}, {10.0, 4.0}}, /*origin_s=*/5.0);
+  EXPECT_DOUBLE_EQ(env.multiplier_at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(env.multiplier_at(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(env.multiplier_at(15.0), 4.0);
+}
+
+TEST(RateEnvelope, ZeroMultiplierFlooredNotDivByZero) {
+  const RateEnvelope env({{0.0, 0.0}, {10.0, 1.0}});
+  EXPECT_GE(env.multiplier_at(0.0), RateEnvelope::kMinMultiplier);
+}
+
+TEST(SessionSource, EnvelopeDeterministic) {
+  auto run_once = [] {
+    TrafficBed tb(77);
+    SessionSourceConfig cfg;
+    cfg.flow_id = 2;
+    cfg.dest = net::Address(1);
+    cfg.users = 1000;
+    cfg.session_rate_per_user_per_s = 0.002;
+    cfg.start = sim::Time::seconds(1.0);
+    cfg.stop = sim::Time::seconds(21.0);
+    // Flash crowd: 8x surge in the middle of the window.
+    cfg.envelope = RateEnvelope({{0.0, 1.0}, {8.0, 1.0}, {9.0, 8.0},
+                                 {14.0, 8.0}, {15.0, 1.0}},
+                                /*origin_s=*/1.0);
+    SessionSource src(tb.sim, cfg, *tb.agents[0], tb.factory, tb.registry);
+    tb.sim.run_until(sim::Time::seconds(23.0));
+    return std::tuple{src.packets_sent(), src.sessions_started(),
+                      src.sessions_completed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SessionSource, FlashCrowdRaisesArrivals) {
+  auto arrivals = [](const RateEnvelope& env) {
+    TrafficBed tb(31);
+    SessionSourceConfig cfg;
+    cfg.flow_id = 2;
+    cfg.dest = net::Address(1);
+    cfg.users = 1000;
+    cfg.session_rate_per_user_per_s = 0.002;  // 2/s baseline
+    cfg.start = sim::Time::seconds(1.0);
+    cfg.stop = sim::Time::seconds(21.0);
+    cfg.envelope = env;
+    SessionSource src(tb.sim, cfg, *tb.agents[0], tb.factory, tb.registry);
+    tb.sim.run_until(sim::Time::seconds(23.0));
+    return src.sessions_started() + src.sessions_rejected();
+  };
+  const std::uint64_t flat = arrivals(RateEnvelope{});
+  const std::uint64_t surged = arrivals(RateEnvelope(
+      {{0.0, 1.0}, {5.0, 1.0}, {6.0, 10.0}, {14.0, 10.0}, {15.0, 1.0}},
+      /*origin_s=*/1.0));
+  EXPECT_GT(surged, flat + flat / 2);  // clear surge, not noise
+}
+
+// A constant-1 envelope multiplies every rate by exactly 1.0, which is
+// bit-exact: the workload must be identical to no envelope at all —
+// the overload knob cannot perturb baseline results just by existing.
+TEST(SessionSource, UnitEnvelopeBitIdenticalToNone) {
+  auto workload = [](const RateEnvelope& env) {
+    TrafficBed tb(55);
+    SessionSourceConfig cfg;
+    cfg.flow_id = 2;
+    cfg.dest = net::Address(1);
+    cfg.users = 1000;
+    cfg.session_rate_per_user_per_s = 0.003;
+    cfg.start = sim::Time::seconds(1.0);
+    cfg.stop = sim::Time::seconds(16.0);
+    cfg.envelope = env;
+    SessionSource src(tb.sim, cfg, *tb.agents[0], tb.factory, tb.registry);
+    tb.sim.run_until(sim::Time::seconds(18.0));
+    return std::tuple{src.packets_sent(), src.sessions_started(),
+                      tb.sim.events_executed()};
+  };
+  EXPECT_EQ(workload(RateEnvelope{}),
+            workload(RateEnvelope({{0.0, 1.0}, {10.0, 1.0}})));
+}
+
+TEST(ArrivalOffsets, EnvelopeOverloadDeterministicAndDenser) {
+  const RateEnvelope surge({{0.0, 1.0}, {10.0, 6.0}});
+  sim::RngStream a(13, 2);
+  sim::RngStream b(13, 2);
+  const auto offs_a = arrival_offsets(12, sim::Time::seconds(2.0),
+                                      sim::Time::seconds(60.0), a, surge);
+  const auto offs_b = arrival_offsets(12, sim::Time::seconds(2.0),
+                                      sim::Time::seconds(60.0), b, surge);
+  EXPECT_EQ(offs_a, offs_b);
+  // Rising rate squeezes the later gaps: the surged schedule finishes
+  // no later than the flat one drawn from the same stream.
+  sim::RngStream c(13, 2);
+  const auto flat = arrival_offsets(12, sim::Time::seconds(2.0),
+                                    sim::Time::seconds(60.0), c);
+  EXPECT_LE(offs_a.back(), flat.back());
+}
+
+TEST(ArrivalOffsets, EmptyEnvelopeMatchesLegacyOverload) {
+  sim::RngStream a(17, 4);
+  sim::RngStream b(17, 4);
+  EXPECT_EQ(arrival_offsets(9, sim::Time::seconds(1.5),
+                            sim::Time::seconds(40.0), a),
+            arrival_offsets(9, sim::Time::seconds(1.5),
+                            sim::Time::seconds(40.0), b, RateEnvelope{}));
 }
 
 }  // namespace
