@@ -36,6 +36,10 @@
 //   --repair           enable local repair + blacklist + precursor RERR
 //   --no-spatial-index run the channel's full O(N^2) broadcast scan
 //                      (results are bit-identical; diagnostic only)
+//   --shards N         conservative-PDES intra-run sharding on N worker
+//                      threads (0 = classic serial engine). Fingerprints
+//                      are bit-identical for every N >= 1; see
+//                      DESIGN.md §3e for the determinism contract
 //   --timeseries FILE  write 1 Hz network time series CSV
 //   --flows-csv FILE   write per-flow results CSV
 #include <cstdlib>
@@ -180,6 +184,8 @@ int main(int argc, char** argv) {
       cfg.options.aodv.rerr_to_precursors = true;
     } else if (a == "--no-spatial-index") {
       cfg.spatial_index = false;
+    } else if (a == "--shards") {
+      cfg.intra_run_shards = static_cast<std::uint32_t>(next(0));
     } else if (a == "--timeseries" && i + 1 < argc) {
       timeseries_path = argv[++i];
     } else if (a == "--flows-csv" && i + 1 < argc) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <string>
 
 #include "core/check.hpp"
@@ -9,6 +10,8 @@
 #include <set>
 
 #include "mobility/placement.hpp"
+#include "phy/units.hpp"
+#include "sim/logging.hpp"
 #include "stats/fairness.hpp"
 
 namespace wmn::exp {
@@ -22,35 +25,179 @@ constexpr std::uint64_t kArrivalSalt = 0xA881'7A10'0000'0000ULL;
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
   WMN_CHECK_GE(cfg_.n_nodes, std::size_t{2}, "a mesh needs at least two nodes");
-  if (cfg_.event_budget != 0) sim_.set_event_budget(cfg_.event_budget);
-  std::unique_ptr<phy::PropagationModel> prop =
-      std::make_unique<phy::LogDistanceModel>();
-  if (cfg_.shadowing_sigma_db > 0.0) {
-    prop = std::make_unique<phy::LogNormalShadowing>(
-        std::move(prop), cfg_.shadowing_sigma_db, cfg_.seed);
+  if (cfg_.intra_run_shards > 0) build_sharded();
+  if (cfg_.event_budget != 0) {
+    if (sharded_) {
+      sharded_->set_event_budget(cfg_.event_budget);
+    } else {
+      sim_.set_event_budget(cfg_.event_budget);
+    }
   }
-  channel_ = std::make_unique<phy::WirelessChannel>(sim_, std::move(prop));
-  if (cfg_.spatial_index) {
-    channel_->enable_spatial_index(cfg_.area_width_m, cfg_.area_height_m);
+  if (!sharded_) {
+    channel_ = std::make_unique<phy::WirelessChannel>(sim_, make_propagation());
+    if (cfg_.spatial_index) {
+      channel_->enable_spatial_index(cfg_.area_width_m, cfg_.area_height_m);
+    }
   }
   build_nodes();
   build_traffic();
 
   if (!cfg_.fault.empty()) {
-    std::vector<fault::NodeHooks> hooks;
-    hooks.reserve(nodes_.size());
-    for (NodeStack& n : nodes_) {
-      hooks.push_back({n.phy.get(), n.mac.get(), n.agent.get()});
+    if (sharded_) {
+      build_fault_timeline();
+    } else {
+      std::vector<fault::NodeHooks> hooks;
+      hooks.reserve(nodes_.size());
+      for (NodeStack& n : nodes_) {
+        hooks.push_back({n.phy.get(), n.mac.get(), n.agent.get()});
+      }
+      injector_ = std::make_unique<fault::Injector>(sim_, cfg_.fault,
+                                                    std::move(hooks));
+      channel_->set_fault_overlay(injector_.get());
+      registry_.set_outage_query(
+          [this](sim::Time t) { return injector_->in_fault_window(t); });
     }
-    injector_ = std::make_unique<fault::Injector>(sim_, cfg_.fault,
-                                                  std::move(hooks));
-    channel_->set_fault_overlay(injector_.get());
-    registry_.set_outage_query(
-        [this](sim::Time t) { return injector_->in_fault_window(t); });
   }
 }
 
 Scenario::~Scenario() = default;
+
+std::unique_ptr<phy::PropagationModel> Scenario::make_propagation() const {
+  std::unique_ptr<phy::PropagationModel> prop =
+      std::make_unique<phy::LogDistanceModel>();
+  if (cfg_.shadowing_sigma_db > 0.0) {
+    // Shadowing offsets are a pure hash of (seed, link pair), so every
+    // region channel's chain agrees link-for-link.
+    prop = std::make_unique<phy::LogNormalShadowing>(
+        std::move(prop), cfg_.shadowing_sigma_db, cfg_.seed);
+  }
+  return prop;
+}
+
+sim::Simulator& Scenario::node_sim(std::size_t i) {
+  return sharded_ ? sharded_->region(home_region_[i]) : sim_;
+}
+
+net::PacketFactory& Scenario::node_factory(std::size_t i) {
+  return sharded_ ? *region_factories_[home_region_[i]] : factory_;
+}
+
+traffic::FlowRegistry& Scenario::node_registry(std::size_t i) {
+  return sharded_ ? *region_registries_[home_region_[i]] : registry_;
+}
+
+// Select the region decomposition, the epoch (conservative lookahead),
+// and the per-region engine state. Region count and epoch are pure
+// functions of the scenario config — NEVER of intra_run_shards, which
+// only caps the worker-thread count — so every shard count executes
+// the identical event schedule (DESIGN.md §3e).
+void Scenario::build_sharded() {
+  const sim::Logger log("shard");
+  const double range = make_propagation()->max_range_m(
+      cfg_.phy.tx_power_dbm, cfg_.phy.detection_floor_dbm);
+  sim::Time epoch = sim::ShardMap::lookahead(range, phy::kSpeedOfLight,
+                                             cfg_.mac.sifs + cfg_.mac.slot);
+  const sim::Time horizon = cfg_.warmup + cfg_.traffic_time + cfg_.drain;
+
+  bool downgrade = false;
+  if (cfg_.mobility.mobile()) {
+    log.warn(sim::Time::zero(),
+             "mobile nodes have no stable home region; sharding downgraded "
+             "to one region");
+    downgrade = true;
+  }
+  if (!cfg_.spatial_index) {
+    log.warn(sim::Time::zero(),
+             "sharding shares the spatial index's grid geometry; "
+             "spatial_index=false downgrades to one region");
+    downgrade = true;
+  }
+  if (epoch == sim::Time::max()) {
+    log.warn(sim::Time::zero(),
+             "propagation model has no finite detection range, so no finite "
+             "lookahead exists; sharding downgraded to one region");
+    downgrade = true;
+  }
+
+  const double cell = phy::SpatialIndex::cell_size_for(
+      std::isfinite(range) ? range : 0.0, cfg_.area_width_m, cfg_.area_height_m);
+  const phy::SpatialIndex::Grid g =
+      phy::SpatialIndex::grid_for(cfg_.area_width_m, cfg_.area_height_m, cell);
+  const sim::ShardGrid grid{g.nx, g.ny, g.cell_m};
+  if (downgrade) {
+    shard_map_ = std::make_unique<sim::ShardMap>(sim::ShardMap::single(grid));
+  } else {
+    shard_map_ = std::make_unique<sim::ShardMap>(
+        sim::ShardMap::build(grid, sim::ShardMap::kRegionTarget));
+  }
+  const std::uint32_t regions = shard_map_->region_count();
+  // One region has no cross-region edges: a single whole-horizon epoch
+  // is the exact serial event semantics, minus ~500k no-op barriers.
+  if (regions == 1) epoch = horizon;
+
+  sharded_ = std::make_unique<sim::ShardedSimulator>(cfg_.seed, regions, epoch,
+                                                     cfg_.intra_run_shards);
+  if (regions > 1) {
+    // A cross-region ACK/CTS can be released up to one epoch after its
+    // physical arrival (the barrier clamp); widen the MAC timeout
+    // slack by two epochs so the clamp shows up as latency, not as
+    // spurious retries. Epoch is config-pure, so this is identical for
+    // every shard count.
+    cfg_.mac.ack_timeout_slack += epoch + epoch;
+    cfg_.mac.cts_timeout_slack += epoch + epoch;
+  }
+
+  region_factories_.reserve(regions);
+  region_registries_.reserve(regions);
+  region_channels_.reserve(regions);
+  for (std::uint32_t r = 0; r < regions; ++r) {
+    region_factories_.push_back(std::make_unique<net::PacketFactory>());
+    region_registries_.push_back(std::make_unique<traffic::FlowRegistry>());
+    auto ch = std::make_unique<phy::WirelessChannel>(sharded_->region(r),
+                                                     make_propagation());
+    ch->enable_spatial_index(cfg_.area_width_m, cfg_.area_height_m);
+    region_channels_.push_back(std::move(ch));
+  }
+}
+
+// Precompute the fault history (fault::FaultTimeline replays the
+// injector's state machine off-line) and wire it into every region:
+// overlay queries answer from the frozen windows, and the crash/rejoin
+// choreography is scheduled onto each victim's home-region calendar.
+void Scenario::build_fault_timeline() {
+  const sim::Time horizon = cfg_.warmup + cfg_.traffic_time + cfg_.drain;
+  timeline_ = std::make_unique<fault::FaultTimeline>(cfg_.seed, cfg_.fault,
+                                                     nodes_.size(), horizon);
+  overlays_.reserve(region_channels_.size());
+  for (std::uint32_t r = 0; r < region_channels_.size(); ++r) {
+    overlays_.push_back(std::make_unique<fault::TimelineOverlay>(
+        *timeline_, sharded_->region(r)));
+    region_channels_[r]->set_fault_overlay(overlays_.back().get());
+  }
+  for (const auto& rr : region_registries_) {
+    rr->set_outage_query(
+        [this](sim::Time t) { return timeline_->in_fault_window(t); });
+  }
+  for (const fault::FaultTimeline::NodeWindow& w : timeline_->node_windows()) {
+    sim::Simulator& s = node_sim(w.node);
+    phy::WifiPhy* phy = nodes_[w.node].phy.get();
+    mac::DcfMac* mac = nodes_[w.node].mac.get();
+    routing::AodvAgent* agent = nodes_[w.node].agent.get();
+    // Same choreography (and layer order) as fault::Injector.
+    s.schedule_at(w.down_at, [phy, mac, agent] {
+      agent->pause();
+      mac->power_down();
+      phy->set_up(false);
+    });
+    if (!w.open) {
+      s.schedule_at(w.up_at, [phy, mac, agent] {
+        phy->set_up(true);
+        mac->power_up();
+        agent->resume();
+      });
+    }
+  }
+}
 
 void Scenario::build_nodes() {
   sim::RngStream placement_rng = sim_.make_stream(kPlacementSalt);
@@ -72,6 +219,7 @@ void Scenario::build_nodes() {
   }
 
   nodes_.resize(cfg_.n_nodes);
+  if (sharded_) home_region_.resize(cfg_.n_nodes);
   for (std::size_t i = 0; i < cfg_.n_nodes; ++i) {
     NodeStack& n = nodes_[i];
     const auto id = static_cast<std::uint32_t>(i);
@@ -84,18 +232,59 @@ void Scenario::build_nodes() {
       rwp.min_speed_mps = cfg_.mobility.min_speed_mps;
       rwp.max_speed_mps = cfg_.mobility.max_speed_mps;
       rwp.pause = cfg_.mobility.pause;
+      // Mobility forces the single-region downgrade, so region 0 ==
+      // "the" simulator in sharded mode.
+      sim::Simulator& msim = sharded_ ? sharded_->region(0) : sim_;
       n.mobility = std::make_unique<mobility::RandomWaypointModel>(
-          sim_, rwp, positions[i], kMobilitySalt ^ id);
+          msim, rwp, positions[i], kMobilitySalt ^ id);
     } else {
       n.mobility = std::make_unique<mobility::ConstantPositionModel>(positions[i]);
     }
+    if (sharded_) {
+      // Home region: lowest grid cell the trajectory bounds overlap —
+      // the cell of the bounding box's low corner (DESIGN.md §3e).
+      const mobility::TrajectoryBounds b = n.mobility->trajectory_bounds();
+      home_region_[i] = shard_map_->home_region(b.lo.x, b.lo.y);
+    }
 
-    n.phy = std::make_unique<phy::WifiPhy>(sim_, cfg_.phy, id, n.mobility.get());
-    channel_->attach(n.phy.get());
-    n.mac = std::make_unique<mac::DcfMac>(sim_, cfg_.mac, addr, *n.phy, factory_);
-    n.agent = core::make_agent(cfg_.protocol, cfg_.options, sim_, addr, *n.mac,
-                               factory_, n.mobility.get());
-    n.sink = std::make_unique<traffic::PacketSink>(sim_, *n.agent, registry_);
+    sim::Simulator& s = node_sim(i);
+    net::PacketFactory& f = node_factory(i);
+    n.phy = std::make_unique<phy::WifiPhy>(s, cfg_.phy, id, n.mobility.get());
+    if (!sharded_) channel_->attach(n.phy.get());
+    n.mac = std::make_unique<mac::DcfMac>(s, cfg_.mac, addr, *n.phy, f);
+    n.agent = core::make_agent(cfg_.protocol, cfg_.options, s, addr, *n.mac, f,
+                               n.mobility.get());
+    n.sink = std::make_unique<traffic::PacketSink>(s, *n.agent, node_registry(i));
+  }
+
+  if (sharded_) {
+    // Every region channel registers every radio — home radios via
+    // attach (which binds the phy to that channel), the rest via
+    // attach_remote — in the same global node order, so attach indices
+    // agree across regions and delivery iteration order is a pure
+    // function of geometry.
+    const std::uint32_t regions = shard_map_->region_count();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      for (std::uint32_t r = 0; r < regions; ++r) {
+        if (r == home_region_[i]) {
+          region_channels_[r]->attach(nodes_[i].phy.get());
+        } else {
+          region_channels_[r]->attach_remote(nodes_[i].phy.get());
+        }
+      }
+    }
+    std::vector<phy::WirelessChannel*> channels;
+    std::vector<net::PacketFactory*> factories;
+    for (std::uint32_t r = 0; r < regions; ++r) {
+      channels.push_back(region_channels_[r].get());
+      factories.push_back(region_factories_[r].get());
+    }
+    router_ = std::make_unique<phy::ShardRouter>(home_region_, std::move(channels),
+                                                 std::move(factories));
+    for (std::uint32_t r = 0; r < regions; ++r) {
+      region_channels_[r]->set_shard_router(router_.get(), r);
+    }
+    sharded_->set_barrier_hook(router_.get());
   }
 }
 
@@ -183,10 +372,11 @@ void Scenario::build_traffic() {
   for (std::size_t i = 0; i < flow_pairs_.size(); ++i) {
     const auto [src, dst] = flow_pairs_[i];
     const sim::Time start = starts[i];
+    const std::uint32_t fid = flow_id++;
     switch (cfg_.traffic.model) {
       case TrafficSpec::Model::kPoissonOnOff: {
         traffic::PoissonOnOffConfig fc;
-        fc.flow_id = flow_id++;
+        fc.flow_id = fid;
         fc.dest = net::Address(dst);
         fc.packet_bytes = cfg_.traffic.packet_bytes;
         fc.rate_pps = cfg_.traffic.rate_pps;
@@ -195,12 +385,13 @@ void Scenario::build_traffic() {
         fc.start = start;
         fc.stop = stop;
         onoff_sources_.push_back(std::make_unique<traffic::PoissonOnOffSource>(
-            sim_, fc, *nodes_[src].agent, factory_, registry_));
+            node_sim(src), fc, *nodes_[src].agent, node_factory(src),
+            node_registry(src)));
         break;
       }
       case TrafficSpec::Model::kHeavyTailOnOff: {
         traffic::HeavyTailOnOffConfig fc;
-        fc.flow_id = flow_id++;
+        fc.flow_id = fid;
         fc.dest = net::Address(dst);
         fc.packet_bytes = cfg_.traffic.packet_bytes;
         fc.rate_pps = cfg_.traffic.rate_pps;
@@ -210,12 +401,13 @@ void Scenario::build_traffic() {
         fc.start = start;
         fc.stop = stop;
         heavy_sources_.push_back(std::make_unique<traffic::HeavyTailOnOffSource>(
-            sim_, fc, *nodes_[src].agent, factory_, registry_));
+            node_sim(src), fc, *nodes_[src].agent, node_factory(src),
+            node_registry(src)));
         break;
       }
       case TrafficSpec::Model::kSessions: {
         traffic::SessionSourceConfig fc;
-        fc.flow_id = flow_id++;
+        fc.flow_id = fid;
         fc.dest = net::Address(dst);
         fc.packet_bytes = cfg_.traffic.packet_bytes;
         fc.users = cfg_.traffic.users_per_node;
@@ -232,49 +424,72 @@ void Scenario::build_traffic() {
         fc.envelope = traffic::RateEnvelope(cfg_.traffic.rate_envelope,
                                             cfg_.warmup.to_seconds());
         session_sources_.push_back(std::make_unique<traffic::SessionSource>(
-            sim_, fc, *nodes_[src].agent, factory_, registry_));
+            node_sim(src), fc, *nodes_[src].agent, node_factory(src),
+            node_registry(src)));
         break;
       }
       case TrafficSpec::Model::kCbr: {
         traffic::CbrConfig fc;
-        fc.flow_id = flow_id++;
+        fc.flow_id = fid;
         fc.dest = net::Address(dst);
         fc.packet_bytes = cfg_.traffic.packet_bytes;
         fc.rate_pps = cfg_.traffic.rate_pps;
         fc.start = start;
         fc.stop = stop;
         cbr_sources_.push_back(std::make_unique<traffic::CbrSource>(
-            sim_, fc, *nodes_[src].agent, factory_, registry_));
+            node_sim(src), fc, *nodes_[src].agent, node_factory(src),
+            node_registry(src)));
         break;
       }
+    }
+    // The source registered the flow in src's home-region registry;
+    // deliveries are recorded by the sink in DST's home region, whose
+    // registry must know the flow too (record_delivery drops unknown
+    // flow ids as stray). The two records merge after the run.
+    if (sharded_ && home_region_[dst] != home_region_[src]) {
+      node_registry(dst).register_flow(fid, net::Address(src),
+                                       net::Address(dst));
     }
   }
 }
 
 void Scenario::run() {
   check_violations_before_ = core::check_violations();
+  const sim::Time horizon = cfg_.warmup + cfg_.traffic_time + cfg_.drain;
   // The one legitimate wall-clock read in simulation code: it measures
   // how long the run took on the host, is reported as wall_seconds, and
   // never feeds an event time, a seed, or a routing decision.
   const auto t0 = std::chrono::steady_clock::now();  // NOLINT(wmn-nondeterminism)
-  sim_.run_until(cfg_.warmup + cfg_.traffic_time + cfg_.drain);
+  if (sharded_) {
+    sharded_->run_until(horizon);
+  } else {
+    sim_.run_until(horizon);
+  }
   const auto t1 = std::chrono::steady_clock::now();  // NOLINT(wmn-nondeterminism)
   wall_seconds_ = std::chrono::duration<double>(t1 - t0).count();
   // A run cut short by supervision produced a truncated trace, not a
   // measurement: surface the structured reason, never partial metrics.
-  switch (sim_.abort_reason()) {
+  const sim::Simulator::AbortReason reason =
+      sharded_ ? sharded_->abort_reason() : sim_.abort_reason();
+  const std::uint64_t budget =
+      sharded_ ? sharded_->event_budget() : sim_.event_budget();
+  switch (reason) {
     case sim::Simulator::AbortReason::kNone:
       break;
     case sim::Simulator::AbortReason::kEventBudget:
       throw RunAborted(FailureKind::kEventBudgetExhausted,
-                       "event budget (" +
-                           std::to_string(sim_.event_budget()) +
+                       "event budget (" + std::to_string(budget) +
                            " events) exhausted at t=" +
-                           std::to_string(sim_.now().to_seconds()) + "s");
+                           std::to_string(engine_now().to_seconds()) + "s");
     case sim::Simulator::AbortReason::kCancelled:
       throw RunAborted(FailureKind::kDeadlineExceeded,
                        "cancelled by the run supervisor at t=" +
-                           std::to_string(sim_.now().to_seconds()) + "s");
+                           std::to_string(engine_now().to_seconds()) + "s");
+  }
+  if (sharded_) {
+    // Fold the per-region registries into the classic one so metrics()
+    // and flows() read the same structure either way.
+    for (const auto& rr : region_registries_) registry_.merge_from(*rr);
   }
   ran_ = true;
 }
@@ -284,7 +499,8 @@ RunMetrics Scenario::metrics() const {
   RunMetrics m;
   m.seed = cfg_.seed;
   m.wall_seconds = wall_seconds_;
-  m.sim_event_count = static_cast<double>(sim_.events_executed());
+  m.sim_event_count = static_cast<double>(
+      sharded_ ? sharded_->events_executed() : sim_.events_executed());
   m.check_violations = core::check_violations() - check_violations_before_;
 
   m.data_sent = registry_.total_sent();
@@ -375,13 +591,23 @@ RunMetrics Scenario::metrics() const {
     m.sessions_rejected += s->sessions_rejected();
   }
 
-  if (injector_) {
+  if (injector_ != nullptr || timeline_ != nullptr) {
     m.fault_enabled = true;
-    const auto& fc = injector_->counters();
-    m.fault_crashes = fc.crashes;
-    m.fault_rejoins = fc.rejoins;
-    m.fault_blackouts = fc.blackouts;
-    m.fault_downtime_s = injector_->total_node_downtime(sim_.now()).to_seconds();
+    if (injector_) {
+      const auto& fc = injector_->counters();
+      m.fault_crashes = fc.crashes;
+      m.fault_rejoins = fc.rejoins;
+      m.fault_blackouts = fc.blackouts;
+      m.fault_downtime_s =
+          injector_->total_node_downtime(sim_.now()).to_seconds();
+    } else {
+      const auto& fc = timeline_->counters();
+      m.fault_crashes = fc.crashes;
+      m.fault_rejoins = fc.rejoins;
+      m.fault_blackouts = fc.blackouts;
+      m.fault_downtime_s =
+          timeline_->total_node_downtime(engine_now()).to_seconds();
+    }
 
     m.sent_during_outage = registry_.sent_during_outage();
     m.delivered_during_outage = registry_.delivered_during_outage();

@@ -13,9 +13,13 @@
 
 #include "core/protocols.hpp"
 #include "exp/metrics.hpp"
+#include "fault/fault_timeline.hpp"
 #include "fault/injector.hpp"
 #include "mobility/mobility_model.hpp"
 #include "phy/channel.hpp"
+#include "phy/shard_router.hpp"
+#include "sim/shard_map.hpp"
+#include "sim/sharded_simulator.hpp"
 #include "traffic/cbr_source.hpp"
 #include "traffic/flow_builder.hpp"
 #include "traffic/heavy_tail_source.hpp"
@@ -121,6 +125,19 @@ struct ScenarioConfig {
   // to benchmark the full O(N^2) scan or to isolate a suspected index
   // bug.
   bool spatial_index = true;
+
+  // Intra-run sharding (conservative PDES; DESIGN.md §3e). 0 (the
+  // default) runs the classic serial engine — untouched code path,
+  // untouched fingerprints. N >= 1 partitions the area into a FIXED
+  // set of contiguous grid-cell regions (a pure function of geometry,
+  // never of N) and advances them in parallel epochs on min(N,
+  // regions) worker threads; cross-region deliveries merge at epoch
+  // barriers in a fixed total order, so the fingerprint is
+  // bit-identical for every shard count, including 1. Configurations
+  // the engine cannot shard safely (mobile nodes, unbounded detection
+  // range, spatial_index off) log a warning and degrade to one region
+  // — still deterministic, never a wrong answer.
+  std::uint32_t intra_run_shards = 0;
 };
 
 class Scenario {
@@ -138,18 +155,34 @@ class Scenario {
   void run();
 
   // Cooperative cancellation: the simulator polls `token` every
-  // `poll_every` events (see sim::Simulator::set_cancel_token). The
-  // token must outlive run(); pass nullptr to detach.
+  // `poll_every` events (see sim::Simulator::set_cancel_token; in a
+  // sharded run every region polls it). The token must outlive run();
+  // pass nullptr to detach.
   void set_cancel_token(const sim::CancelToken* token,
                         std::uint64_t poll_every = 1024) {
-    sim_.set_cancel_token(token, poll_every);
+    if (sharded_) {
+      sharded_->set_cancel_token(token, poll_every);
+    } else {
+      sim_.set_cancel_token(token, poll_every);
+    }
   }
 
   // Aggregate metrics; valid after run().
   [[nodiscard]] RunMetrics metrics() const;
 
   // --- component access (tests, examples, custom experiments) ---------
+  // The classic serial simulator. In a sharded run this engine is idle
+  // (components live on the region simulators); use sharded_engine().
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  // True when intra_run_shards > 0 selected the sharded engine.
+  [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }
+  // Null in classic mode.
+  [[nodiscard]] sim::ShardedSimulator* sharded_engine() { return sharded_.get(); }
+  [[nodiscard]] const sim::ShardMap* shard_map() const { return shard_map_.get(); }
+  // Node i's home region (sharded mode; empty otherwise).
+  [[nodiscard]] const std::vector<std::uint32_t>& home_regions() const {
+    return home_region_;
+  }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] routing::AodvAgent& agent(std::size_t i) { return *nodes_[i].agent; }
   [[nodiscard]] mac::DcfMac& node_mac(std::size_t i) { return *nodes_[i].mac; }
@@ -168,10 +201,18 @@ class Scenario {
     return session_sources_;
   }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
-  [[nodiscard]] phy::WirelessChannel& channel() { return *channel_; }
-  // Null when the config's FaultPlan is empty.
+  // Classic mode: the one channel. Sharded mode: region 0's channel.
+  [[nodiscard]] phy::WirelessChannel& channel() {
+    return sharded_ ? *region_channels_.front() : *channel_;
+  }
+  // Null when the config's FaultPlan is empty (and in sharded runs,
+  // which precompute the history into a fault::FaultTimeline instead).
   [[nodiscard]] const fault::Injector* injector() const {
     return injector_.get();
+  }
+  // Null except in sharded runs with a non-empty FaultPlan.
+  [[nodiscard]] const fault::FaultTimeline* fault_timeline() const {
+    return timeline_.get();
   }
   // Factory for injecting extra (unmeasured) traffic into the mesh.
   [[nodiscard]] net::PacketFactory& packet_factory() { return factory_; }
@@ -187,7 +228,13 @@ class Scenario {
       bytes += sizeof(NodeStack) + n.phy->memory_bytes() +
                n.mac->memory_bytes() + n.agent->memory_bytes();
     }
-    bytes += channel_->memory_bytes();
+    if (sharded_) {
+      // Every region channel sees every radio, so the per-region
+      // tables genuinely replicate — the rollup charges all of them.
+      for (const auto& ch : region_channels_) bytes += ch->memory_bytes();
+    } else {
+      bytes += channel_->memory_bytes();
+    }
     return bytes / nodes_.size();
   }
 
@@ -200,16 +247,43 @@ class Scenario {
     std::unique_ptr<traffic::PacketSink> sink;
   };
 
+  void build_sharded();
   void build_nodes();
   void build_traffic();
+  void build_fault_timeline();
+  [[nodiscard]] std::unique_ptr<phy::PropagationModel> make_propagation() const;
+  // The engine a node's components are scheduled on / allocate from /
+  // report to: its home region's in sharded mode, the classic
+  // simulator/factory/registry otherwise.
+  [[nodiscard]] sim::Simulator& node_sim(std::size_t i);
+  [[nodiscard]] net::PacketFactory& node_factory(std::size_t i);
+  [[nodiscard]] traffic::FlowRegistry& node_registry(std::size_t i);
+  [[nodiscard]] sim::Time engine_now() const {
+    return sharded_ ? sharded_->now() : sim_.now();
+  }
 
   ScenarioConfig cfg_;
   sim::Simulator sim_;
+  // Sharded engine (intra_run_shards > 0): the region simulators own
+  // the calendars every component schedules on, so they sit right
+  // after sim_ — destroyed after the node stacks, like sim_ itself.
+  std::unique_ptr<sim::ShardMap> shard_map_;
+  std::unique_ptr<sim::ShardedSimulator> sharded_;
   net::PacketFactory factory_;
+  // Per-region arenas/registries outlive the node stacks and channels
+  // below (parked packets release arena references at channel
+  // teardown).
+  std::vector<std::unique_ptr<net::PacketFactory>> region_factories_;
+  std::vector<std::unique_ptr<traffic::FlowRegistry>> region_registries_;
+  std::vector<std::uint32_t> home_region_;  // per node (sharded mode)
   // nodes_ before channel_: the channel's spatial index detaches from
   // the mobility models in its destructor, so it must die first.
   std::vector<NodeStack> nodes_;
   std::unique_ptr<phy::WirelessChannel> channel_;
+  std::vector<std::unique_ptr<phy::WirelessChannel>> region_channels_;
+  std::unique_ptr<phy::ShardRouter> router_;
+  std::unique_ptr<fault::FaultTimeline> timeline_;
+  std::vector<std::unique_ptr<fault::TimelineOverlay>> overlays_;
   std::unique_ptr<fault::Injector> injector_;
   traffic::FlowRegistry registry_;
   std::vector<traffic::NodePair> flow_pairs_;

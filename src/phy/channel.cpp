@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "phy/shard_router.hpp"
 #include "phy/units.hpp"
 
 namespace wmn::phy {
@@ -27,6 +28,35 @@ void WirelessChannel::attach(WifiPhy* phy) {
   // version mismatch invalidate all cached neighbour lists.
   ranges_valid_ = false;
   if (index_ != nullptr) index_->add_node(phy->mobility());
+}
+
+void WirelessChannel::attach_remote(WifiPhy* phy) {
+  WMN_CHECK_NOTNULL(phy, "attach_remote(nullptr)");
+  // No set_channel_index / phy->attach: the home channel owns those.
+  // The table still grows so attach indices stay globally consistent.
+  radios_.push_back(phy);
+  neighbor_caches_.emplace_back();
+  ranges_valid_ = false;
+  if (index_ != nullptr) index_->add_node(phy->mobility());
+}
+
+void WirelessChannel::set_shard_router(ShardRouter* router, std::uint32_t region_id) {
+  router_ = router;
+  region_id_ = region_id;
+}
+
+void WirelessChannel::accept_cross(WifiPhy* rx, net::Packet packet, double p_dbm,
+                                   double p_mw, sim::Time release_at,
+                                   sim::Time duration) {
+  const std::uint32_t slot = acquire_slot();
+  PendingDelivery& d = pending_[slot];
+  d.packet.emplace(std::move(packet));
+  d.rx = rx;
+  d.rx_power_dbm = p_dbm;
+  d.rx_power_mw = p_mw;
+  d.duration = duration;
+  ++in_flight_;
+  sim_.schedule_at(release_at, [this, slot] { deliver(slot); });
 }
 
 void WirelessChannel::enable_spatial_index(double area_width_m,
@@ -82,6 +112,17 @@ void WirelessChannel::schedule_delivery(WifiPhy* rx, const net::Packet& packet,
                                         double p_dbm, double p_mw,
                                         sim::Time delay, sim::Time duration) {
   ++counters_.copies_delivered;
+  // Sharded runs route receivers homed in another region through the
+  // barrier-merged inboxes; the copy is accounted here, where the
+  // physics decided it.
+  if (router_ != nullptr) {
+    const std::uint32_t dst = router_->region_of(rx->node_id());
+    if (dst != region_id_) {
+      router_->post(region_id_, dst, rx, packet, p_dbm, p_mw, sim_.now() + delay,
+                    duration);
+      return;
+    }
+  }
   // Each receiver gets its own (cheap, header-sharing) packet copy,
   // parked in a recycled slot until the propagation delay elapses.
   const std::uint32_t slot = acquire_slot();
@@ -122,12 +163,8 @@ void WirelessChannel::build_spatial_index() {
   for (const double r : radio_range_m_) {
     if (std::isfinite(r)) max_range = std::max(max_range, r);
   }
-  const double area_max = std::max(area_width_m_, area_height_m_);
-  double cell = max_range > 0.0 ? max_range / 2.0 : area_max;
-  // Keep the grid between "one cell" and "256 per axis" so neither a
-  // huge range nor a huge area degenerates it.
-  cell = std::clamp(cell, area_max / 256.0, area_max);
-  cell = std::max(cell, 1.0);
+  const double cell =
+      SpatialIndex::cell_size_for(max_range, area_width_m_, area_height_m_);
   index_ = std::make_unique<SpatialIndex>(area_width_m_, area_height_m_, cell);
   for (const WifiPhy* phy : radios_) index_->add_node(phy->mobility());
 }

@@ -55,6 +55,8 @@
 
 namespace wmn::phy {
 
+class ShardRouter;
+
 class WirelessChannel {
  public:
   WirelessChannel(sim::Simulator& simulator,
@@ -65,6 +67,26 @@ class WirelessChannel {
 
   // Register a radio. The radio must outlive the channel's use of it.
   void attach(WifiPhy* phy);
+
+  // --- sharded engine hooks (see phy/shard_router.hpp) ----------------
+  // Register a radio homed in ANOTHER region as a delivery candidate:
+  // grows the radio table, caches, and spatial index, but never takes
+  // ownership — the phy keeps transmitting through its home channel.
+  // Regions must attach/attach_remote in the same global node order so
+  // attach indices agree on every region channel.
+  void attach_remote(WifiPhy* phy);
+
+  // Install the cross-region router and this channel's region id. With
+  // a router installed, schedule_delivery() forwards any receiver
+  // homed elsewhere to the router instead of the local slot pool.
+  void set_shard_router(ShardRouter* router, std::uint32_t region_id);
+
+  // Router re-entry on the destination region: park a re-materialised
+  // cross-region copy and deliver it at `release_at` (>= the physical
+  // arrival; see DESIGN.md §3e). Runs on the coordinating thread at an
+  // epoch barrier, with every worker parked.
+  void accept_cross(WifiPhy* rx, net::Packet packet, double p_dbm, double p_mw,
+                    sim::Time release_at, sim::Time duration);
 
   // Broadcast `packet` from `src` to every other attached radio.
   // Called by WifiPhy::send(); not part of the public user API.
@@ -176,6 +198,8 @@ class WirelessChannel {
   sim::Simulator& sim_;
   std::unique_ptr<PropagationModel> propagation_;
   const FaultOverlay* fault_ = nullptr;
+  ShardRouter* router_ = nullptr;
+  std::uint32_t region_id_ = 0;
   std::vector<WifiPhy*> radios_;
   std::vector<PendingDelivery> pending_;
   std::uint32_t free_head_ = kNilSlot;

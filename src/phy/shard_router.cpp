@@ -1,0 +1,84 @@
+#include "phy/shard_router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "phy/channel.hpp"
+
+namespace wmn::phy {
+
+ShardRouter::ShardRouter(std::vector<std::uint32_t> region_of_node,
+                         std::vector<WirelessChannel*> channels,
+                         std::vector<net::PacketFactory*> factories)
+    : region_of_node_(std::move(region_of_node)),
+      channels_(std::move(channels)),
+      factories_(std::move(factories)) {
+  WMN_CHECK_EQ(channels_.size(), factories_.size(),
+               "one packet factory per region channel");
+  WMN_CHECK_GT(channels_.size(), 0u, "router needs at least one region");
+  for (const std::uint32_t r : region_of_node_) {
+    WMN_CHECK_LT(r, channels_.size(), "node mapped to a nonexistent region");
+  }
+  outboxes_.resize(channels_.size() * channels_.size());
+}
+
+void ShardRouter::post(std::uint32_t src_region, std::uint32_t dst_region,
+                       WifiPhy* rx, const net::Packet& packet, double rx_power_dbm,
+                       double rx_power_mw, sim::Time arrival, sim::Time duration) {
+  WMN_CHECK_NE(src_region, dst_region, "intra-region delivery posted to router");
+  Outbox& row = outboxes_[src_region * region_count() + dst_region];
+  row.entries.push_back(Entry{net::Packet(packet), rx, rx_power_dbm, rx_power_mw,
+                              arrival, duration, row.next_seq++});
+}
+
+bool ShardRouter::merge_epoch(sim::Time boundary) {
+  const std::uint32_t n = region_count();
+  bool any = false;
+  if (trace_on_) trace_.clear();
+  for (std::uint32_t dst = 0; dst < n; ++dst) {
+    scratch_.clear();
+    for (std::uint32_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      const Outbox& row = outboxes_[src * n + dst];
+      for (std::uint32_t i = 0; i < row.entries.size(); ++i) {
+        const Entry& e = row.entries[i];
+        const sim::Time release = e.arrival > boundary ? e.arrival : boundary;
+        scratch_.push_back(MergeRef{release, src, e.seq, i});
+      }
+    }
+    if (scratch_.empty()) continue;
+    any = true;
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const MergeRef& a, const MergeRef& b) {
+                if (a.release != b.release) return a.release < b.release;
+                if (a.src_region != b.src_region) return a.src_region < b.src_region;
+                return a.seq < b.seq;
+              });
+    for (const MergeRef& ref : scratch_) {
+      Entry& e = outboxes_[ref.src_region * n + dst].entries[ref.index];
+      if (trace_on_) {
+        trace_.push_back(MergeTraceEntry{ref.release, ref.src_region, ref.seq,
+                                         e.packet.uid()});
+      }
+      net::Packet clone = factories_[dst]->clone(e.packet);
+      channels_[dst]->accept_cross(e.rx, std::move(clone), e.rx_power_dbm,
+                                   e.rx_power_mw, ref.release, e.duration);
+      ++merged_;
+    }
+  }
+  if (any) {
+    // Drop the source-side packet references here, on the coordinating
+    // thread — the barrier orders this against all worker access to
+    // the source arenas.
+    for (Outbox& row : outboxes_) row.entries.clear();
+  }
+  return any;
+}
+
+std::uint64_t ShardRouter::posted() const {
+  std::uint64_t total = 0;
+  for (const Outbox& row : outboxes_) total += row.next_seq;
+  return total;
+}
+
+}  // namespace wmn::phy

@@ -1,0 +1,108 @@
+#include "sim/shard_map.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/check.hpp"
+
+namespace wmn::sim {
+
+namespace {
+
+// One grid axis coordinate: floor(v / cell), with NaN and negatives
+// clamping to 0 and the far edge clamping to n-1. Must stay in
+// lockstep with phy::SpatialIndex's cell formula so the shard map and
+// the delivery index agree on every node's cell.
+std::uint32_t axis_cell(double v, double cell_m, std::uint32_t n) {
+  const double c = std::floor(v / cell_m);
+  if (!(c > 0.0)) return 0;  // NaN lands here too
+  if (c >= static_cast<double>(n - 1)) return n - 1;
+  return static_cast<std::uint32_t>(c);
+}
+
+}  // namespace
+
+ShardMap ShardMap::build(const ShardGrid& grid, std::uint32_t target_regions) {
+  WMN_CHECK_GT(grid.nx, 0u, "shard grid has no columns");
+  WMN_CHECK_GT(grid.ny, 0u, "shard grid has no rows");
+  WMN_CHECK_GT(grid.cell_m, 0.0, "shard grid cell size must be positive");
+  if (target_regions == 0) target_regions = 1;
+
+  ShardMap map;
+  map.grid_ = grid;
+  // Largest achievable region count <= target: walk targets downward
+  // and take the first with a feasible (tx, ty) factorisation
+  // (tx <= nx, ty <= ny, so every tile owns at least one cell column
+  // and row). Among a target's divisor pairs, pick the one whose tile
+  // aspect best matches the grid aspect — compact tiles minimise
+  // border cells and therefore cross-region traffic.
+  for (std::uint32_t target = target_regions; target >= 1; --target) {
+    bool found = false;
+    std::uint64_t best_mismatch = 0;
+    std::uint32_t best_tx = 1;
+    std::uint32_t best_ty = 1;
+    for (std::uint32_t tx = 1; tx <= target; ++tx) {
+      if (target % tx != 0) continue;
+      const std::uint32_t ty = target / tx;
+      if (tx > grid.nx || ty > grid.ny) continue;
+      // Aspect mismatch |tx/ty - nx/ny| cross-multiplied to stay exact
+      // in integers.
+      const std::int64_t cross = static_cast<std::int64_t>(tx) * grid.ny -
+                                 static_cast<std::int64_t>(ty) * grid.nx;
+      const std::uint64_t mismatch = static_cast<std::uint64_t>(std::llabs(cross));
+      // tx ascends, so '<=' resolves aspect ties toward more columns
+      // (the documented tie-break).
+      if (!found || mismatch <= best_mismatch) {
+        found = true;
+        best_mismatch = mismatch;
+        best_tx = tx;
+        best_ty = ty;
+      }
+    }
+    if (found) {
+      map.tiles_x_ = best_tx;
+      map.tiles_y_ = best_ty;
+      return map;
+    }
+  }
+  map.tiles_x_ = 1;  // unreachable: target 1 always factors as 1x1
+  map.tiles_y_ = 1;
+  return map;
+}
+
+ShardMap ShardMap::single(const ShardGrid& grid) {
+  ShardMap map;
+  map.grid_ = grid;
+  map.tiles_x_ = 1;
+  map.tiles_y_ = 1;
+  return map;
+}
+
+std::uint32_t ShardMap::cell_of(double x, double y) const {
+  const std::uint32_t cx = axis_cell(x, grid_.cell_m, grid_.nx);
+  const std::uint32_t cy = axis_cell(y, grid_.cell_m, grid_.ny);
+  return cy * grid_.nx + cx;
+}
+
+std::uint32_t ShardMap::region_of_cell(std::uint32_t cell_id) const {
+  WMN_CHECK_LT(cell_id, grid_.nx * grid_.ny, "cell id outside the shard grid");
+  const std::uint32_t cx = cell_id % grid_.nx;
+  const std::uint32_t cy = cell_id / grid_.nx;
+  // Proportional partition: cell column c maps to tile c*tx/nx. With
+  // tx <= nx every tile is non-empty and tiles are contiguous runs of
+  // whole columns/rows.
+  const std::uint32_t tx = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(cx) * tiles_x_) / grid_.nx);
+  const std::uint32_t ty = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(cy) * tiles_y_) / grid_.ny);
+  return ty * tiles_x_ + tx;
+}
+
+Time ShardMap::lookahead(double max_range_m, double signal_speed_mps, Time mac_turnaround) {
+  if (!std::isfinite(max_range_m)) return Time::max();
+  WMN_CHECK_GT(signal_speed_mps, 0.0, "signal speed must be positive");
+  const double range = max_range_m > 0.0 ? max_range_m : 0.0;
+  return Time::seconds(range / signal_speed_mps) + mac_turnaround;
+}
+
+}  // namespace wmn::sim

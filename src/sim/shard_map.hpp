@@ -1,0 +1,100 @@
+// ShardMap: the geometric region decomposition behind the sharded
+// event loop (sim/sharded_simulator.hpp).
+//
+// The map tiles the spatial index's uniform grid into contiguous
+// rectangular regions of whole grid cells. Two properties carry the
+// whole determinism contract:
+//
+//  1. The decomposition is a pure function of the grid geometry and a
+//     FIXED region target — never of the worker-thread count. Shard
+//     counts 1/2/4/8 all run the same regions; only how many OS
+//     threads advance them differs, and thread count is unobservable
+//     in event order. Bit-identical fingerprints across shard counts
+//     are structural, not incidental.
+//
+//  2. Every node has exactly one deterministic home region for the
+//     whole run: the region of the lowest-numbered grid cell its
+//     trajectory bounds overlap (cell ids are row-major, so that is
+//     the cell containing the bounding box's low corner). A static
+//     node's box is a point; a node whose box spans a region border
+//     still gets one stable home.
+//
+// Layering: sim/ cannot see phy/, so the map takes the grid as plain
+// numbers (ShardGrid). The exp layer builds it from
+// phy::SpatialIndex::grid_for(...) so both structures tile the exact
+// same cells.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace wmn::sim {
+
+// Uniform-grid geometry, mirroring phy::SpatialIndex's tiling.
+struct ShardGrid {
+  std::uint32_t nx = 1;   // cells along x
+  std::uint32_t ny = 1;   // cells along y
+  double cell_m = 1.0;    // cell edge length, metres
+};
+
+class ShardMap {
+ public:
+  // Region target used by the sharded scenario path. A constant on
+  // purpose (see file comment): more worker threads than regions is
+  // capped, fewer just leaves some workers idle.
+  static constexpr std::uint32_t kRegionTarget = 8;
+
+  // Tile `grid` into at most `target_regions` contiguous rectangular
+  // regions. The tile factorisation (tx, ty) is the feasible divisor
+  // pair of the largest achievable region count whose tile aspect best
+  // matches the grid aspect; ties prefer more columns. Pure function
+  // of its arguments.
+  [[nodiscard]] static ShardMap build(const ShardGrid& grid, std::uint32_t target_regions);
+
+  // Degenerate single-region map (the downgrade path: mobility, +inf
+  // range, disabled spatial index). One region = the exact serial
+  // event semantics, never a wrong answer.
+  [[nodiscard]] static ShardMap single(const ShardGrid& grid);
+
+  [[nodiscard]] std::uint32_t region_count() const { return tiles_x_ * tiles_y_; }
+  [[nodiscard]] std::uint32_t tiles_x() const { return tiles_x_; }
+  [[nodiscard]] std::uint32_t tiles_y() const { return tiles_y_; }
+  [[nodiscard]] const ShardGrid& grid() const { return grid_; }
+
+  // Row-major cell id of a position (NaN and out-of-area coordinates
+  // clamp, matching phy::SpatialIndex).
+  [[nodiscard]] std::uint32_t cell_of(double x, double y) const;
+
+  [[nodiscard]] std::uint32_t region_of_cell(std::uint32_t cell_id) const;
+  [[nodiscard]] std::uint32_t region_of_position(double x, double y) const {
+    return region_of_cell(cell_of(x, y));
+  }
+
+  // Home region of a trajectory bounding box [lo, hi]: the region of
+  // the lowest cell id the box overlaps — i.e. the cell of (lo_x,
+  // lo_y), since cell ids grow with x then y. Infinite/NaN low corners
+  // clamp to cell 0 (unbounded models force the single-region
+  // downgrade anyway, but the rule stays total).
+  [[nodiscard]] std::uint32_t home_region(double lo_x, double lo_y) const {
+    return region_of_position(lo_x, lo_y);
+  }
+
+  // Conservative lookahead: the minimum latency of any cross-region
+  // delivery. A transmission reaches another region no sooner than the
+  // propagation delay across the *detection* range plus the MAC
+  // turnaround (SIFS + one slot) before the medium can react — so
+  // regions advanced in epochs of this width can never miss a
+  // causality edge. An infinite detection range (a propagation model
+  // without a provable max_range_m inversion) has no finite lookahead:
+  // Time::max() is returned and callers must downgrade to one region.
+  [[nodiscard]] static Time lookahead(double max_range_m, double signal_speed_mps,
+                                      Time mac_turnaround);
+
+ private:
+  ShardGrid grid_;
+  std::uint32_t tiles_x_ = 1;
+  std::uint32_t tiles_y_ = 1;
+};
+
+}  // namespace wmn::sim

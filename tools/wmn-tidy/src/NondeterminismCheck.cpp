@@ -1,11 +1,29 @@
 #include "NondeterminismCheck.h"
 
+#include <algorithm>
+
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallString.h"
+
 namespace wmn_tidy {
 
 using namespace clang;
 using namespace clang::ast_matchers;
 
 namespace {
+
+// The two places allowed to hold raw threading primitives: the sweep
+// concurrency layer (exp::ThreadPool and its supervision machinery)
+// and the sharded engine's worker team. Everywhere else a std::thread
+// or std::mutex means simulation state is about to be touched from an
+// unsanctioned thread — which breaks the determinism contract even
+// when it happens to be race-free.
+bool isSanctionedThreadingFile(llvm::StringRef path) {
+  llvm::SmallString<256> norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  const llvm::StringRef p(norm);
+  return p.contains("src/exp/") || p.contains("sharded_simulator.");
+}
 
 AST_MATCHER_FUNCTION(ast_matchers::internal::Matcher<QualType>,
                      unorderedContainerKeyedByPointer) {
@@ -52,6 +70,19 @@ void NondeterminismCheck::registerMatchers(MatchFinder *Finder) {
                      hasRHS(expr(hasType(isAnyPointer()))))
           .bind("ptr-order"),
       this);
+  // Raw threading primitives outside the sanctioned concurrency
+  // layers (see isSanctionedThreadingFile above).
+  Finder->addMatcher(
+      valueDecl(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                    namedDecl(hasAnyName(
+                        "::std::thread", "::std::jthread", "::std::mutex",
+                        "::std::timed_mutex", "::std::recursive_mutex",
+                        "::std::recursive_timed_mutex", "::std::shared_mutex",
+                        "::std::shared_timed_mutex",
+                        "::std::condition_variable",
+                        "::std::condition_variable_any")))))))
+          .bind("raw-thread"),
+      this);
 }
 
 void NondeterminismCheck::check(const MatchFinder::MatchResult &Result) {
@@ -87,6 +118,18 @@ void NondeterminismCheck::check(const MatchFinder::MatchResult &Result) {
     diag(B->getOperatorLoc(),
          "ordering raw pointers compares allocator-assigned addresses; "
          "order by a stable id (or NOLINT a same-array scan)");
+    return;
+  }
+  if (const auto *D = Result.Nodes.getNodeAs<ValueDecl>("raw-thread")) {
+    const SourceManager &SM = *Result.SourceManager;
+    const llvm::StringRef file =
+        SM.getFilename(SM.getExpansionLoc(D->getLocation()));
+    if (isSanctionedThreadingFile(file)) return;
+    diag(D->getBeginLoc(),
+         "raw threading primitive outside the sanctioned concurrency "
+         "layers (src/exp/, the sharded-simulator TU): ad-hoc threads "
+         "can reorder simulation events; use exp::ThreadPool across "
+         "runs or sim::ShardedSimulator within one");
   }
 }
 

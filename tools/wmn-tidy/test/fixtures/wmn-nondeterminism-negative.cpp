@@ -1,5 +1,6 @@
 // Fixture: seeded randomness and stable-id keying must NOT be flagged.
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
 
 // The sanctioned randomness shape: all state derives from the seed.
@@ -16,3 +17,12 @@ struct RngStream {
 std::unordered_map<std::uint32_t, int> by_stable_id;
 
 std::uint64_t draw(RngStream& rng) { return rng.next(); }
+
+// Thread-adjacent shapes that are not raw primitives: a same-named
+// type in another namespace, and this_thread utilities.
+namespace pool {
+struct thread_handle {};
+}  // namespace pool
+pool::thread_handle handle;
+
+void let_others_run() { std::this_thread::yield(); }

@@ -1,8 +1,12 @@
-// Fixture: every host-entropy source must be flagged.
+// Fixture: every host-entropy source must be flagged, and so is raw
+// threading outside the sanctioned files (this fixture is neither
+// under src/exp/ nor the sharded-simulator TU).
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <mutex>
 #include <random>
+#include <thread>
 #include <unordered_map>
 
 unsigned host_entropy() {
@@ -18,3 +22,13 @@ unsigned host_entropy() {
 }
 
 std::unordered_map<int*, int> by_address;  // EXPECT: wmn-nondeterminism
+
+struct AdHocWorker {
+  std::thread worker_;  // EXPECT: wmn-nondeterminism
+  std::mutex state_lock_;  // EXPECT: wmn-nondeterminism
+};
+
+void spawn_detached() {
+  std::thread t([] {});  // EXPECT: wmn-nondeterminism
+  t.join();
+}

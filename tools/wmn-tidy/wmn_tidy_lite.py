@@ -16,7 +16,10 @@ Checks:
     wmn-no-raw-assert       assert()/abort()/_Exit/quick_exit/NDEBUG
     wmn-nondeterminism      std::random_device, rand/srand, time(),
                             getenv(), std::chrono wall clocks,
-                            unordered containers keyed by pointers
+                            unordered containers keyed by pointers,
+                            raw std::thread/std::mutex outside the
+                            sanctioned files (src/exp/, the
+                            sharded-simulator TU)
     wmn-unordered-iteration loops over unordered_{map,set,...}
     wmn-check-side-effects  mutation inside WMN_CHECK* conditions
 
@@ -55,6 +58,17 @@ SINK_RE = re.compile(
 
 WALL_CLOCK_RE = re.compile(
     r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(")
+
+RAW_THREADING_RE = re.compile(
+    r"\bstd\s*::\s*(?P<sym>thread|jthread|mutex|timed_mutex|"
+    r"recursive_mutex|recursive_timed_mutex|shared_mutex|"
+    r"shared_timed_mutex|condition_variable(?:_any)?)\b")
+
+# The two places allowed to hold raw threading primitives: the sweep
+# concurrency layer (exp::ThreadPool and supervision) and the sharded
+# engine's worker team. Matches the plugin's isSanctionedThreadingFile.
+SANCTIONED_THREADING_RE = re.compile(
+    r"src[/\\]exp[/\\]|sharded_simulator\.")
 
 LIBC_ENTROPY_RE = re.compile(
     r"(?:\bstd\s*::\s*|(?<![\w:.>]))(?P<fn>rand|srand|time|getenv)\s*\(")
@@ -274,9 +288,19 @@ def check_no_raw_assert(path, lines, supp, findings):
 
 def check_nondeterminism(path, lines, supp, findings):
     check = "wmn-nondeterminism"
+    threading_sanctioned = bool(SANCTIONED_THREADING_RE.search(str(path)))
     for ln, line in enumerate(lines, start=1):
         if line.lstrip().startswith("#"):
             continue
+        m = RAW_THREADING_RE.search(line)
+        if m and not threading_sanctioned and not supp.suppressed(ln, check):
+            findings.append(Finding(
+                path, ln, m.start() + 1,
+                f"raw std::{m.group('sym')} outside the sanctioned "
+                "concurrency layers (src/exp/, the sharded-simulator TU): "
+                "ad-hoc threads can reorder simulation events; use "
+                "exp::ThreadPool across runs or sim::ShardedSimulator "
+                "within one", check))
         m = re.search(r"\bstd\s*::\s*random_device\b", line)
         if m and not supp.suppressed(ln, check):
             findings.append(Finding(
